@@ -1,0 +1,17 @@
+"""Benchmark-suite configuration.
+
+Each benchmark runs one experiment at the ``quick`` preset exactly once
+(`benchmark.pedantic(rounds=1)`): the interesting output is the
+paper-style table the bench prints, and the wall time pytest-benchmark
+records for regenerating it — not statistical timing of a hot loop.
+"""
+
+import sys
+from pathlib import Path
+
+# Make `src` and the benchmarks package importable regardless of how
+# pytest was invoked (the repo installs via a .pth in CI-less setups).
+ROOT = Path(__file__).parent.parent
+for path in (ROOT / "src", ROOT):
+    if str(path) not in sys.path:
+        sys.path.insert(0, str(path))

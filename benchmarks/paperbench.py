@@ -1,0 +1,19 @@
+"""Shared helpers for the figure/table benchmarks."""
+
+from __future__ import annotations
+
+MS = 1e3
+MBPS = 1e-6
+
+
+def header(title: str) -> None:
+    print(f"\n=== {title} ===")
+
+
+def row(text: str) -> None:
+    print(f"  {text}")
+
+
+def run_once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark and return its value."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,10 @@
+"""Ensure ``src`` is importable when running pytest from the repo root,
+even without an installed distribution (the CI image has no ``wheel``,
+so editable installs fall back to a ``.pth`` file)."""
+
+import sys
+from pathlib import Path
+
+SRC = Path(__file__).parent / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))

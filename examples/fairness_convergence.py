@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Convergence to fair share as flows come and go (Fig. 10).
+
+Five long transfers towards one receiver start one after another, then
+stop one after another.  The example prints an ASCII strip chart of
+per-flow throughput so the convergence behaviour is visible in a
+terminal: TCP-TRIM's flows settle onto the fair share at every
+arrival/departure epoch, while TCP wanders.
+
+Run:  python examples/fairness_convergence.py [--protocol trim]
+"""
+
+import argparse
+
+from repro.experiments.fairness import FairnessParams, run_fairness
+
+GLYPHS = "12345"
+
+
+def strip_chart(result, params) -> None:
+    """One row per sample epoch; columns are Mbps scaled to 60 chars."""
+    series = result.flow_series
+    n_rows = 40
+    t0 = min(s.times[0] for s in series if len(s))
+    t1 = max(s.times[-1] for s in series if len(s))
+    step = (t1 - t0) / n_rows
+    peak = params.bottleneck_bps
+    print(f"    time   {'throughput (0 .. bottleneck)':<62s} Jain")
+    for row in range(n_rows):
+        start, end = t0 + row * step, t0 + (row + 1) * step
+        line = [" "] * 62
+        shares = []
+        for idx, s in enumerate(series):
+            window = s.window(start, end)
+            bps = window.mean() if len(window) else 0.0
+            shares.append(bps)
+            col = min(61, int(bps / peak * 60))
+            line[col] = GLYPHS[idx % len(GLYPHS)]
+        total = sum(shares)
+        sq = sum(x * x for x in shares)
+        jain = (total * total / (len(shares) * sq)) if sq else 1.0
+        print(f"  {start:7.2f}s |{''.join(line)}| {jain:4.2f}")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--protocol", default=None,
+                        choices=("reno", "cubic", "dctcp", "trim"))
+    parser.add_argument("--paper-scale", action="store_true",
+                        help="full 22 s at 1 Gbps (slow in pure Python)")
+    args = parser.parse_args()
+    protocols = [args.protocol] if args.protocol else ["reno", "trim"]
+
+    for protocol in protocols:
+        params = (FairnessParams.paper(protocol) if args.paper_scale
+                  else FairnessParams.quick(protocol))
+        result = run_fairness(params)
+        print("=" * 78)
+        print(f"{protocol}: flows start every {params.stagger:.2f}s, "
+              f"stop from t={params.stop_start:.2f}s  "
+              f"(digits 1-5 mark each flow's share)")
+        strip_chart(result, params)
+        shares = " ".join(f"{s / 1e6:.1f}" for s in result.plateau_shares)
+        print(f"plateau shares (Mbps): [{shares}]  "
+              f"Jain index {result.plateau_fairness:.4f}  "
+              f"timeouts {result.timeouts}\n")
+
+
+if __name__ == "__main__":
+    main()

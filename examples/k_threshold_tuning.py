@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Choosing TCP-TRIM's K threshold (Section III.B, Eq. 22).
+
+Walks through the paper's analysis for a concrete deployment, then
+sweeps K on the fluid model to show the utilization/queueing trade-off
+the guideline balances: too small a K starves the bottleneck after a
+synchronized back-off; a larger K only adds standing queue.
+
+Run:  python examples/k_threshold_tuning.py [--bandwidth-gbps 1]
+"""
+
+import argparse
+
+from repro.core import kguide
+from repro.core.model import SteadyStateModel
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--bandwidth-gbps", type=float, default=1.0)
+    parser.add_argument("--base-rtt-us", type=float, default=1000.0)
+    parser.add_argument("--flows", type=int, default=10)
+    args = parser.parse_args()
+
+    capacity = args.bandwidth_gbps * 1e9 / (8 * 1460)  # packets/s
+    base_rtt = args.base_rtt_us * 1e-6
+    n = args.flows
+
+    print(f"Deployment: C = {capacity:,.0f} pkt/s "
+          f"({args.bandwidth_gbps:g} Gbps of MSS packets), "
+          f"D = {base_rtt * 1e6:.0f} us, N = {n} synchronized trains\n")
+
+    k_star = kguide.k_threshold(capacity, base_rtt)
+    n_star = kguide.f_stationary_point(capacity, base_rtt)
+    print(f"Eq. 19 worst-case flow count  N* = {n_star:8.1f}")
+    print(f"Eq. 21 supremum of F(N)          = {kguide.f_max(capacity, base_rtt) * 1e6:8.1f} us")
+    print(f"Eq. 22 guideline threshold    K* = {k_star * 1e6:8.1f} us")
+    print(f"Eq. 4  target queue at K*        = "
+          f"{kguide.desired_queue_pkts(capacity, k_star, base_rtt):8.1f} pkts")
+    print(f"Eq. 5  per-flow steady window    = "
+          f"{kguide.steady_window_pkts(capacity, k_star, n):8.1f} pkts\n")
+
+    print(f"{'K/K*':>6s} {'K (us)':>9s} {'min queue':>10s} {'max queue':>10s} "
+          f"{'Eq.12 holds':>12s}")
+    for mult in (0.5, 0.7, 0.9, 1.0, 1.25, 1.5, 2.0):
+        k = max(base_rtt, k_star * mult)
+        trace = SteadyStateModel(capacity, base_rtt, n, k).run(300)
+        exact = kguide.utilization_holds(capacity, k, base_rtt, n)
+        print(f"{mult:6.2f} {k * 1e6:9.1f} {trace.min_queue:10.1f} "
+              f"{trace.max_queue:10.1f} {str(exact):>12s}")
+
+    print(
+        "\nTwo things to read off the sweep:\n"
+        "  * standing queue (added latency) grows linearly with K — the\n"
+        "    only cost of over-provisioning the threshold;\n"
+        "  * the exact utilization condition (Eq. 12) admits smaller K\n"
+        "    than the paper's closed form: Eq. 22 bounds the decrement\n"
+        "    sum by N-1, a deliberately conservative sufficient\n"
+        "    condition that is safe for EVERY flow count N at once."
+    )
+
+
+if __name__ == "__main__":
+    main()

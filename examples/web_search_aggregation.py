@@ -1,0 +1,48 @@
+#!/usr/bin/env python
+"""Partition/aggregation: a web-search response fan-in (incast).
+
+Models the paper's motivating application: a front-end distributes a
+user query to many workers (Partition) whose answers burst back at
+nearly the same instant (Aggregation).  Long-lived background transfers
+keep the shared buffer occupied, so the synchronized burst is exactly
+the Fig. 5 / Fig. 7 concurrency impairment.
+
+The metric a search operator cares about is the *slowest* worker — the
+query is only answered when the last fragment arrives.
+
+Run:  python examples/web_search_aggregation.py [--workers 12]
+"""
+
+import argparse
+
+from repro.experiments.concurrency import ConcurrencyParams, run_concurrency
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--workers", type=int, default=12,
+                        help="number of aggregation workers (default 12)")
+    parser.add_argument("--background", type=int, default=2,
+                        help="long-lived background flows (default 2)")
+    args = parser.parse_args()
+
+    print(f"{args.workers} workers burst 10-packet fragments at one "
+          f"front-end past {args.background} background transfer(s).\n")
+    print(f"{'protocol':10s} {'mean (ms)':>10s} {'worst (ms)':>11s} "
+          f"{'timeouts':>9s} {'drops':>6s}")
+    for protocol in ("reno", "dctcp", "trim"):
+        params = ConcurrencyParams.paper(
+            protocol, n_lpts=args.background, deadline=4.0
+        )
+        case = run_concurrency(params, n_spts=args.workers)
+        print(f"{protocol:10s} {case.act * 1e3:10.2f} {case.max_ct * 1e3:11.2f} "
+              f"{case.spt_timeouts:9d} {case.dropped_packets:6d}")
+
+    print("\nThe query latency is the 'worst' column: one RTO-struck "
+          "worker holds the whole answer hostage — the paper's Fig. 5. "
+          "TCP-TRIM's delay control leaves buffer headroom, so the burst "
+          "is absorbed (Fig. 7).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+"""repro — a reproduction of TCP-TRIM (ICDCS 2016).
+
+A packet-level discrete-event network simulator plus the TCP-TRIM
+congestion-control algorithm and the baselines the paper evaluates
+against (Reno, CUBIC, DCTCP, L2DCT, and a GIP-style restart).
+
+Quickstart::
+
+    from repro import Simulator, build_star, make_connection
+
+    sim = Simulator()
+    star = build_star(sim, n_servers=5)
+    source, sink = make_connection(
+        "trim", sim, star.servers[0], star.frontend, flow_id=1,
+        capacity_pps=85_616,
+    )
+    message = source.send_bytes(128 * 1024)
+    sim.run(until=1.0)
+    print(f"completed in {message.completion_time * 1e3:.2f} ms")
+
+See DESIGN.md for the full system inventory and EXPERIMENTS.md for the
+paper-versus-measured record of every figure and table.
+"""
+
+from repro.core import SteadyStateModel, TrimSource, k_threshold, kguide
+from repro.net import (
+    Network,
+    build_fat_tree,
+    build_multi_hop,
+    build_star,
+    build_two_level_tree,
+)
+from repro.sim import RandomStreams, Simulator
+from repro.tcp import (
+    PROTOCOLS,
+    Message,
+    TcpConfig,
+    TcpSink,
+    TcpSource,
+    create_source,
+    make_connection,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Message",
+    "Network",
+    "PROTOCOLS",
+    "RandomStreams",
+    "Simulator",
+    "SteadyStateModel",
+    "TcpConfig",
+    "TcpSink",
+    "TcpSource",
+    "TrimSource",
+    "build_fat_tree",
+    "build_multi_hop",
+    "build_star",
+    "build_two_level_tree",
+    "create_source",
+    "k_threshold",
+    "kguide",
+    "make_connection",
+]

@@ -1,0 +1,21 @@
+"""The paper's contribution: TCP-TRIM and its analytical model.
+
+* :class:`~repro.core.trim.TrimSource` — the TCP-TRIM sender
+  (Algorithms 1 and 2).
+* :mod:`~repro.core.kguide` — the K-threshold guideline, Eqs. (4)–(22).
+* :class:`~repro.core.model.SteadyStateModel` — the round-based fluid
+  model behind the guideline.
+"""
+
+from repro.core import kguide
+from repro.core.kguide import k_threshold
+from repro.core.model import SteadyStateModel, SteadyStateTrace
+from repro.core.trim import TrimSource
+
+__all__ = [
+    "SteadyStateModel",
+    "SteadyStateTrace",
+    "TrimSource",
+    "k_threshold",
+    "kguide",
+]

@@ -1,0 +1,135 @@
+"""The K-threshold guideline — Section III.B, Equations (4)–(22).
+
+TCP-TRIM backs off when the measured RTT exceeds a threshold ``K``.
+Too small a K starves the bottleneck (buffer underflow); too large a K
+lets the queue grow.  The paper derives, for N synchronized long trains
+through a bottleneck of capacity ``C`` packets/s with base (queue-free)
+RTT ``D`` seconds:
+
+* desired queue          ``Q = C·(K − D)``                       (Eq. 4)
+* steady window per flow ``W = C·K / N``                          (Eq. 5)
+* peak queue             ``Q_max = C·(K − D) + N``                (Eq. 7)
+* per-flow congestion level at peak
+                          ``ep_j = j / (C·K + j)``                (Eq. 9)
+* total one-round decrement
+      ``ΔW = ((C·K + N)/(2N)) · Σ_j j/(C·K + j)``                 (Eq. 10)
+* 100%-utilization condition  ``Q_max − ΔW > 0``                  (Eq. 11)
+* the closed-form bound   ``K ≥ max(((√(2CD) − 1)²)/C, D)``       (Eq. 22)
+
+All functions below take ``capacity_pps`` (C) and times in seconds.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "congestion_level",
+    "desired_queue_pkts",
+    "f_bound",
+    "f_max",
+    "f_stationary_point",
+    "k_threshold",
+    "max_queue_pkts",
+    "steady_window_pkts",
+    "total_window_decrement",
+    "utilization_holds",
+]
+
+
+def _check_cd(capacity_pps: float, base_rtt: float) -> None:
+    if capacity_pps <= 0:
+        raise ValueError("capacity must be positive")
+    if base_rtt <= 0:
+        raise ValueError("base RTT must be positive")
+
+
+def k_threshold(capacity_pps: float, base_rtt: float) -> float:
+    """Equation (22): the smallest safe RTT threshold K.
+
+    ``K = max(((√(2·C·D) − 1)²)/C, D)`` — guarantees the switch queue
+    never underflows for any number of synchronized flows, hence 100%
+    bottleneck utilization.
+    """
+    _check_cd(capacity_pps, base_rtt)
+    root = math.sqrt(2.0 * capacity_pps * base_rtt)
+    if root <= 1.0:
+        # Eq. 19 has no positive solution: F(N) is negative for all
+        # N > 0, so any K >= D guarantees utilization.
+        return base_rtt
+    bound = (root - 1.0) ** 2 / capacity_pps
+    return max(bound, base_rtt)
+
+
+def desired_queue_pkts(capacity_pps: float, k: float, base_rtt: float) -> float:
+    """Equation (4): target queue ``Q = C·(K − D)`` in packets."""
+    _check_cd(capacity_pps, base_rtt)
+    if k < base_rtt:
+        raise ValueError("K must be at least the base RTT D")
+    return capacity_pps * (k - base_rtt)
+
+
+def steady_window_pkts(capacity_pps: float, k: float, n_flows: int) -> float:
+    """Equation (5): per-flow window ``C·K/N`` at the queue target."""
+    if n_flows < 1:
+        raise ValueError("need at least one flow")
+    return capacity_pps * k / n_flows
+
+
+def max_queue_pkts(capacity_pps: float, k: float, base_rtt: float, n_flows: int) -> float:
+    """Equation (7): peak queue ``Q_max = C·(K − D) + N``."""
+    return desired_queue_pkts(capacity_pps, k, base_rtt) + n_flows
+
+
+def congestion_level(rtt: float, k: float) -> float:
+    """Equation (2): ``ep = (RTT − K)/RTT``; zero when RTT ≤ K."""
+    if rtt <= 0:
+        raise ValueError("RTT must be positive")
+    if k < 0:
+        raise ValueError("K cannot be negative")
+    return max(0.0, (rtt - k) / rtt)
+
+
+def total_window_decrement(capacity_pps: float, k: float, n_flows: int) -> float:
+    """Equation (10): the exact sum of one round's window decrements.
+
+    ``((C·K + N)/(2N)) · Σ_{j=1..N} j/(C·K + j)`` — computed exactly
+    rather than with the paper's integral approximation (Eq. 13).
+    """
+    if n_flows < 1:
+        raise ValueError("need at least one flow")
+    ck = capacity_pps * k
+    tail = sum(j / (ck + j) for j in range(1, n_flows + 1))
+    return (ck + n_flows) / (2.0 * n_flows) * tail
+
+
+def utilization_holds(
+    capacity_pps: float, k: float, base_rtt: float, n_flows: int
+) -> bool:
+    """Equation (11)/(12): does the queue stay above zero after the
+    synchronized back-off?  Uses the exact decrement sum."""
+    q_max = max_queue_pkts(capacity_pps, k, base_rtt, n_flows)
+    return q_max - total_window_decrement(capacity_pps, k, n_flows) > 0
+
+
+def f_bound(n_flows: float, capacity_pps: float, base_rtt: float) -> float:
+    """Equation (17): ``F(N) = 2·N·D/(N + 1) − N/C``.
+
+    K must exceed ``F(N)`` for every N; :func:`f_max` is its supremum.
+    """
+    if n_flows <= 0:
+        raise ValueError("N must be positive")
+    _check_cd(capacity_pps, base_rtt)
+    return 2.0 * n_flows * base_rtt / (n_flows + 1.0) - n_flows / capacity_pps
+
+
+def f_stationary_point(capacity_pps: float, base_rtt: float) -> float:
+    """Equation (19)'s positive root: ``N* = √(2·C·D) − 1``."""
+    _check_cd(capacity_pps, base_rtt)
+    return math.sqrt(2.0 * capacity_pps * base_rtt) - 1.0
+
+
+def f_max(capacity_pps: float, base_rtt: float) -> float:
+    """Equation (21): ``max_N F(N) = ((√(2·C·D) − 1)²)/C``."""
+    _check_cd(capacity_pps, base_rtt)
+    return (math.sqrt(2.0 * capacity_pps * base_rtt) - 1.0) ** 2 / capacity_pps

@@ -1,0 +1,128 @@
+"""Experiment harnesses: one module per paper figure/table.
+
+| Module                | Reproduces            |
+|-----------------------|-----------------------|
+| ``workload_figs``     | Fig. 1, Fig. 2        |
+| ``motivation``        | Fig. 4, Fig. 6        |
+| ``concurrency``       | Fig. 5, Fig. 7        |
+| ``large_scale``       | Fig. 8                |
+| ``properties``        | Fig. 9                |
+| ``fairness``          | Fig. 10               |
+| ``multihop``          | Fig. 11               |
+| ``fattree``           | Fig. 12, Table I      |
+| ``testbed``           | Fig. 13               |
+
+Each parameter dataclass has ``paper()`` (full published parameters)
+and ``quick()`` (reduced-scale, same structure) presets; benchmarks run
+``quick`` and EXPERIMENTS.md records both.  ``python -m
+repro.experiments <name>`` runs one from the command line.
+"""
+
+from repro.experiments.ablation import (
+    AlphaCase,
+    KSweepCase,
+    ProbePolicyCase,
+    run_alpha_sweep,
+    run_k_sweep,
+    run_probe_policies,
+)
+from repro.experiments.concurrency import (
+    ConcurrencyCase,
+    ConcurrencyParams,
+    run_concurrency,
+    run_concurrency_sweep,
+)
+from repro.experiments.fairness import FairnessParams, FairnessResult, run_fairness
+from repro.experiments.incast import (
+    IncastCase,
+    IncastParams,
+    run_incast,
+    run_incast_sweep,
+)
+from repro.experiments.fattree import FatTreeParams, FatTreeResult, run_fattree
+from repro.experiments.large_scale import (
+    LargeScaleCase,
+    LargeScaleParams,
+    run_large_scale,
+    run_large_scale_sweep,
+)
+from repro.experiments.motivation import (
+    MotivationParams,
+    MotivationResult,
+    run_motivation,
+)
+from repro.experiments.multihop import MultiHopParams, MultiHopResult, run_multihop
+from repro.experiments.properties import (
+    PropertiesCase,
+    PropertiesParams,
+    run_properties_case,
+    run_properties_sweep,
+    run_queue_trace,
+)
+from repro.experiments.scenarios import (
+    ConnectionSet,
+    dctcp_threshold_pkts,
+    ecn_threshold_for,
+    packets_per_second,
+    run_until,
+)
+from repro.experiments.testbed import (
+    ArctCase,
+    ArctParams,
+    WebServiceParams,
+    WebServiceResult,
+    run_arct_sweep,
+    run_web_service,
+)
+from repro.experiments.workload_figs import WorkloadFigures, characterize_workload
+
+__all__ = [
+    "AlphaCase",
+    "ArctCase",
+    "KSweepCase",
+    "ProbePolicyCase",
+    "run_alpha_sweep",
+    "run_k_sweep",
+    "run_probe_policies",
+    "ArctParams",
+    "ConcurrencyCase",
+    "ConcurrencyParams",
+    "ConnectionSet",
+    "FairnessParams",
+    "FairnessResult",
+    "FatTreeParams",
+    "FatTreeResult",
+    "IncastCase",
+    "IncastParams",
+    "LargeScaleCase",
+    "LargeScaleParams",
+    "MotivationParams",
+    "MotivationResult",
+    "MultiHopParams",
+    "MultiHopResult",
+    "PropertiesCase",
+    "PropertiesParams",
+    "WebServiceParams",
+    "WebServiceResult",
+    "WorkloadFigures",
+    "characterize_workload",
+    "dctcp_threshold_pkts",
+    "ecn_threshold_for",
+    "packets_per_second",
+    "run_arct_sweep",
+    "run_concurrency",
+    "run_concurrency_sweep",
+    "run_fairness",
+    "run_fattree",
+    "run_incast",
+    "run_incast_sweep",
+    "run_large_scale",
+    "run_large_scale_sweep",
+    "run_motivation",
+    "run_multihop",
+    "run_properties_case",
+    "run_properties_sweep",
+    "run_queue_trace",
+    "run_until",
+    "run_web_service",
+]

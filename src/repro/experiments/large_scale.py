@@ -1,0 +1,194 @@
+"""Large-scale HTTP concurrency — Figure 8.
+
+The Fig. 8(a) topology: edge switches with 42 servers each behind one
+fabric switch and a single front-end.  Per switch, two servers run long
+trains for the whole test; every other server sends one SPT whose size
+follows the Fig. 2(a) distribution, at a start time drawn uniformly or
+exponentially within a 0.5 s window.  RTO is 20 ms.  The paper sweeps
+5–25 switches (210–1050 servers) and reports the ACT of SPTs: TCP-TRIM
+cuts TCP's ACT by up to 80%, still ≥50% beyond 840 servers.
+
+Full paper scale is expensive in pure Python, so the ``quick`` preset
+shrinks the fan-in while keeping the 2-LPTs-per-switch structure and the
+SPT size distribution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.experiments.scenarios import (
+    ConnectionSet,
+    ecn_threshold_for,
+    packets_per_second,
+    path_base_rtt,
+    run_until,
+    warm_config,
+)
+from repro.http.apps import LongTrainSender
+from repro.http.workload import pt_size_sampler, segments_for_bytes
+from repro.metrics.stats import completion_times, summarize
+from repro.net.topology import build_two_level_tree
+from repro.sim.kernel import Simulator
+from repro.tcp.factory import default_config
+
+__all__ = ["LargeScaleCase", "LargeScaleParams", "run_large_scale", "run_large_scale_sweep"]
+
+
+@dataclass
+class LargeScaleParams:
+    """Fig. 8 parameters."""
+
+    protocol: str = "reno"
+    switch_counts: Sequence[int] = (5, 10, 15, 20, 25)
+    servers_per_switch: int = 42
+    lpts_per_switch: int = 2
+    distribution: str = "uniform"  # or "exponential"
+    spt_window: float = 0.5
+    spt_window_start: float = 0.1
+    edge_bps: float = 1e9
+    edge_delay_s: float = 20e-6
+    frontend_bps: float = 10e9
+    frontend_delay_s: float = 10e-6
+    buffer_pkts: int = 100
+    min_rto: float = 0.02  # the paper sets a 20 ms RTO here
+    repeats: int = 3
+    deadline: float = 4.0
+    seed: int = 1
+
+    @classmethod
+    def paper(cls, protocol: str = "reno", **overrides) -> "LargeScaleParams":
+        return cls(protocol=protocol, **overrides)
+
+    @classmethod
+    def quick(cls, protocol: str = "reno", **overrides) -> "LargeScaleParams":
+        """Shrunk fan-in: 12 servers/switch at 10× slower links."""
+        defaults = dict(
+            switch_counts=(2, 4, 6),
+            servers_per_switch=12,
+            edge_bps=1e8,
+            frontend_bps=1e9,
+            spt_window=0.3,
+            repeats=2,
+            deadline=3.0,
+        )
+        defaults.update(overrides)
+        return cls(protocol=protocol, **defaults)
+
+
+@dataclass
+class LargeScaleCase:
+    """One sweep point, averaged over repeats."""
+
+    n_switches: int
+    n_servers: int
+    act: float
+    max_ct: float
+    completed: int
+    expected: int
+    timeouts: int
+
+
+def run_large_scale(
+    params: LargeScaleParams, n_switches: int, repeat_index: int = 0
+) -> tuple[list[float], int, int]:
+    """One run: returns (SPT completion times, SPT count, timeouts)."""
+    sim = Simulator()
+    rng = np.random.default_rng((params.seed, n_switches, repeat_index))
+    topo = build_two_level_tree(
+        sim,
+        n_switches,
+        servers_per_switch=params.servers_per_switch,
+        edge_bandwidth_bps=params.edge_bps,
+        edge_delay_s=params.edge_delay_s,
+        frontend_bandwidth_bps=params.frontend_bps,
+        frontend_delay_s=params.frontend_delay_s,
+        buffer_pkts=params.buffer_pkts,
+        ecn_threshold_pkts=ecn_threshold_for(params.protocol, params.edge_bps),
+    )
+    config = default_config(
+        params.protocol, min_rto=params.min_rto, initial_rto=params.min_rto
+    )
+    connections = ConnectionSet(
+        sim,
+        params.protocol,
+        config=config,
+        capacity_pps=packets_per_second(params.edge_bps),
+        base_rtt=path_base_rtt(
+            [
+                (params.edge_delay_s, params.edge_bps),
+                (params.edge_delay_s, params.edge_bps),
+                (params.frontend_delay_s, params.frontend_bps),
+            ]
+        ),
+    )
+    sizes = pt_size_sampler()
+    spt_messages = []
+    n_spts = 0
+    for group in topo.server_groups:
+        lpt_hosts = group[: params.lpts_per_switch]
+        spt_hosts = group[params.lpts_per_switch :]
+        for host in lpt_hosts:
+            src, _sink = connections.connect(
+                host, topo.frontend, config=warm_config(config)
+            )
+            LongTrainSender(sim, src, params.spt_window_start).start()
+        for host in spt_hosts:
+            src, _sink = connections.connect(host, topo.frontend)
+            start = params.spt_window_start + _draw_offset(
+                rng, params.distribution, params.spt_window
+            )
+            segments = segments_for_bytes(int(sizes.sample(rng, 1)[0]))
+            sim.schedule_at(
+                start,
+                lambda s=src, n=segments: spt_messages.append(s.send_message(n)),
+            )
+            n_spts += 1
+
+    run_until(
+        sim,
+        lambda: len(spt_messages) == n_spts
+        and all(m.finish_time is not None for m in spt_messages),
+        params.deadline,
+    )
+    return completion_times(spt_messages), n_spts, connections.total_timeouts
+
+
+def run_large_scale_sweep(params: LargeScaleParams) -> list[LargeScaleCase]:
+    """Fig. 8(b): ACT of SPTs versus the total number of servers."""
+    cases = []
+    for n_switches in params.switch_counts:
+        all_times: list[float] = []
+        expected = 0
+        timeouts = 0
+        for r in range(params.repeats):
+            times, n_spts, t = run_large_scale(params, n_switches, r)
+            all_times.extend(times)
+            expected += n_spts
+            timeouts += t
+        stats = summarize(all_times)
+        cases.append(
+            LargeScaleCase(
+                n_switches=n_switches,
+                n_servers=n_switches * params.servers_per_switch,
+                act=stats.mean,
+                max_ct=stats.maximum,
+                completed=stats.count,
+                expected=expected,
+                timeouts=timeouts,
+            )
+        )
+    return cases
+
+
+def _draw_offset(rng: np.random.Generator, distribution: str, window: float) -> float:
+    """An SPT start offset within [0, window] per the configured law."""
+    if distribution == "uniform":
+        return float(rng.uniform(0.0, window))
+    if distribution == "exponential":
+        # Mean window/3 gives most arrivals early, truncated to the window.
+        return min(float(rng.exponential(window / 3.0)), window)
+    raise ValueError(f"unknown distribution {distribution!r}")

@@ -1,0 +1,151 @@
+"""Render experiment artifacts as Markdown reports.
+
+``python -m repro.experiments.report results.json [-o report.md]``
+turns an artifact written by the CLI's ``--output`` into a readable
+report: scalar summaries as bullet lists, lists of case records as
+tables, time series as compact summaries.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Any
+
+from repro.experiments.store import load_results
+
+__all__ = ["main", "render_markdown"]
+
+
+def _format_value(value: Any) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        magnitude = abs(value)
+        if magnitude >= 1e5 or magnitude < 1e-3:
+            return f"{value:.3e}"
+        return f"{value:.4g}"
+    if isinstance(value, list):
+        return f"[{len(value)} items]"
+    if isinstance(value, dict):
+        return f"{{{len(value)} keys}}"
+    return str(value)
+
+
+def _is_record_list(value: Any) -> bool:
+    """A list of homogeneous dicts renders as a table."""
+    return (
+        isinstance(value, list)
+        and len(value) > 0
+        and all(isinstance(item, dict) for item in value)
+        and len({frozenset(item.keys()) for item in value}) == 1
+        and all(
+            not isinstance(v, (dict, list)) for v in value[0].values()
+        )
+    )
+
+
+def _is_time_series(value: Any) -> bool:
+    return (
+        isinstance(value, dict)
+        and set(value.keys()) == {"name", "times", "values"}
+    )
+
+
+def _render_table(records: list[dict]) -> list[str]:
+    columns = list(records[0].keys())
+    lines = [
+        "| " + " | ".join(columns) + " |",
+        "|" + "|".join("---" for _ in columns) + "|",
+    ]
+    for record in records:
+        lines.append(
+            "| " + " | ".join(_format_value(record[c]) for c in columns) + " |"
+        )
+    return lines
+
+
+def _render_value(name: str, value: Any, depth: int) -> list[str]:
+    heading = "#" * min(6, depth + 2)
+    lines: list[str] = []
+    if _is_record_list(value):
+        lines.append(f"{heading} {name}")
+        lines.append("")
+        lines.extend(_render_table(value))
+        lines.append("")
+    elif _is_time_series(value):
+        values = value["values"] or [0]
+        finite = [v for v in values if isinstance(v, (int, float))]
+        lines.append(
+            f"- **{name}** (time series, {len(values)} samples): "
+            f"min={_format_value(min(finite))}, "
+            f"max={_format_value(max(finite))}, "
+            f"mean={_format_value(sum(finite) / len(finite))}"
+        )
+    elif isinstance(value, dict):
+        lines.append(f"{heading} {name}")
+        lines.append("")
+        scalars = {
+            k: v for k, v in value.items()
+            if not isinstance(v, (dict, list)) or _is_time_series(v)
+        }
+        nested = {k: v for k, v in value.items() if k not in scalars}
+        for key, val in scalars.items():
+            if _is_time_series(val):
+                lines.extend(_render_value(key, val, depth + 1))
+            else:
+                lines.append(f"- **{key}**: {_format_value(val)}")
+        if scalars:
+            lines.append("")
+        for key, val in nested.items():
+            lines.extend(_render_value(key, val, depth + 1))
+    elif isinstance(value, list):
+        lines.append(f"- **{name}**: {[_format_value(v) for v in value]}")
+    else:
+        lines.append(f"- **{name}**: {_format_value(value)}")
+    return lines
+
+
+def render_markdown(document: dict) -> str:
+    """Render a loaded artifact as a Markdown report."""
+    lines = [
+        f"# Experiment report: {document['experiment']}",
+        "",
+        f"- preset: `{document['preset']}`",
+        f"- seed: `{document.get('seed')}`",
+        f"- repro version: `{document.get('repro_version')}`",
+        "",
+    ]
+    results = document["results"]
+    if isinstance(results, dict):
+        for name, value in results.items():
+            lines.extend(_render_value(name, value, depth=0))
+    else:
+        lines.extend(_render_value("results", results, depth=0))
+    return "\n".join(lines).rstrip() + "\n"
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments.report",
+        description="Render a results artifact as Markdown.",
+    )
+    parser.add_argument("artifact", help="JSON file written with --output")
+    parser.add_argument("-o", "--output", default=None,
+                        help="write the report here instead of stdout")
+    args = parser.parse_args(argv)
+    report = render_markdown(load_results(args.artifact))
+    if args.output:
+        Path(args.output).write_text(report)
+        print(f"report written to {args.output}")
+    else:
+        try:
+            print(report)
+        except BrokenPipeError:  # piped into head etc.
+            return 0
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,81 @@
+"""Workload characterization — Figures 1 and 2.
+
+Fig. 1 plots the packet-sequence staircase of one web server's trains;
+Fig. 2 gives the CDFs of train size and inter-train gap.  Here we (a)
+generate a synthetic ON/OFF trace from the Fig. 2 samplers, (b) expand
+it to per-packet times the way the paper's trace analysis saw them, and
+(c) re-extract the trains with the Sec. II.A gap rule — verifying the
+round trip workload → packets → trains reproduces the published
+statistics (the anchors of Fig. 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.http.packet_train import PacketTrain, extract_trains, train_intervals
+from repro.http.workload import generate_onoff_schedule
+from repro.net.packet import MSS_BYTES
+
+__all__ = ["WorkloadFigures", "characterize_workload"]
+
+
+@dataclass
+class WorkloadFigures:
+    """Everything Figs. 1 and 2 report about one connection's traffic."""
+
+    packet_times: list[float]
+    packet_sizes: list[int]
+    trains: list[PacketTrain]
+    gaps: list[float]
+
+    @property
+    def train_sizes(self) -> list[int]:
+        return [t.total_bytes for t in self.trains]
+
+    @property
+    def n_long_trains(self) -> int:
+        return sum(1 for t in self.trains if t.is_long)
+
+    def size_fraction_below(self, size_bytes: float) -> float:
+        sizes = self.train_sizes
+        return sum(1 for s in sizes if s <= size_bytes) / len(sizes)
+
+
+def characterize_workload(
+    seed: int = 1,
+    duration: float = 10.0,
+    line_rate_bps: float = 1e9,
+    gap_rule: float = 150e-6,
+) -> WorkloadFigures:
+    """Generate, packetize, and re-extract one server's packet trains.
+
+    ``gap_rule`` is the inter-train gap used for re-extraction; it must
+    sit between the per-packet serialization time and the smallest OFF
+    gap of the generator (the paper uses the smoothed RTT).
+    """
+    rng = np.random.default_rng(seed)
+    events = generate_onoff_schedule(
+        rng, duration=duration, drain_rate_bps=line_rate_bps
+    )
+    if not events:
+        raise RuntimeError("duration too short: no trains generated")
+    packet_gap = MSS_BYTES * 8.0 / line_rate_bps
+    times: list[float] = []
+    sizes: list[int] = []
+    for event in events:
+        n_packets = max(1, -(-event.size_bytes // MSS_BYTES))
+        remaining = event.size_bytes
+        for i in range(n_packets):
+            times.append(event.time + i * packet_gap)
+            sizes.append(min(MSS_BYTES, remaining))
+            remaining -= MSS_BYTES
+    trains = extract_trains(times, sizes, gap=gap_rule)
+    return WorkloadFigures(
+        packet_times=times,
+        packet_sizes=sizes,
+        trains=trains,
+        gaps=train_intervals(trains),
+    )

@@ -1,0 +1,47 @@
+"""HTTP workload layer: packet trains, ON/OFF generators, app drivers."""
+
+from repro.http.apps import (
+    Exchange,
+    HttpSession,
+    LongTrainSender,
+    ScheduledResponder,
+    burst_at,
+)
+from repro.http.packet_train import (
+    LPT_THRESHOLD_BYTES,
+    PacketTrain,
+    extract_trains,
+    train_intervals,
+)
+from repro.http.workload import (
+    GAP_CDF_ANCHORS,
+    PT_SIZE_CDF_ANCHORS,
+    OnOffEvent,
+    PiecewiseLogCdf,
+    gap_sampler,
+    generate_onoff_schedule,
+    pt_size_sampler,
+    response_schedule,
+    segments_for_bytes,
+)
+
+__all__ = [
+    "Exchange",
+    "GAP_CDF_ANCHORS",
+    "HttpSession",
+    "LPT_THRESHOLD_BYTES",
+    "LongTrainSender",
+    "OnOffEvent",
+    "PT_SIZE_CDF_ANCHORS",
+    "PacketTrain",
+    "PiecewiseLogCdf",
+    "ScheduledResponder",
+    "burst_at",
+    "extract_trains",
+    "gap_sampler",
+    "generate_onoff_schedule",
+    "pt_size_sampler",
+    "response_schedule",
+    "segments_for_bytes",
+    "train_intervals",
+]

@@ -1,0 +1,85 @@
+"""Packet trains — Section II.A.
+
+The paper defines a *packet train* (PT) as a burst of packets on an HTTP
+connection from one source to one destination; two packets whose spacing
+exceeds an inter-train gap belong to different trains (after Jain &
+Routhier's classic definition [12]).  Short packet trains (SPTs) carry a
+few to dozens of packets; long packet trains (LPTs) carry ⪆128 KB.
+
+This module extracts trains from packet logs (simulated or synthetic)
+and classifies them, which the Fig. 1 / Fig. 2 benches use to verify the
+synthetic workload reproduces the published train statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+__all__ = ["LPT_THRESHOLD_BYTES", "PacketTrain", "extract_trains"]
+
+LPT_THRESHOLD_BYTES = 128 * 1024
+"""Trains at or above this size are long packet trains (Sec. II.A)."""
+
+
+@dataclass(frozen=True)
+class PacketTrain:
+    """A maximal burst of packets with intra-gap ≤ the train gap."""
+
+    start_time: float
+    end_time: float
+    n_packets: int
+    total_bytes: int
+
+    @property
+    def duration(self) -> float:
+        return self.end_time - self.start_time
+
+    @property
+    def is_long(self) -> bool:
+        """True for LPTs (≥ 128 KB, per the paper's Fig. 1 narrative)."""
+        return self.total_bytes >= LPT_THRESHOLD_BYTES
+
+
+def extract_trains(
+    times: Sequence[float],
+    sizes: Sequence[int],
+    gap: float,
+) -> list[PacketTrain]:
+    """Split a packet log into trains at inter-packet gaps > ``gap``.
+
+    ``times`` must be non-decreasing; ``sizes`` are per-packet bytes.
+    """
+    if len(times) != len(sizes):
+        raise ValueError("times and sizes must have equal length")
+    if gap <= 0:
+        raise ValueError("inter-train gap must be positive")
+    trains: list[PacketTrain] = []
+    if not times:
+        return trains
+
+    start = prev = times[0]
+    count = 1
+    total = sizes[0]
+    for t, s in zip(times[1:], sizes[1:]):
+        if t < prev:
+            raise ValueError("packet times must be non-decreasing")
+        if t - prev > gap:
+            trains.append(PacketTrain(start, prev, count, total))
+            start = t
+            count = 0
+            total = 0
+        count += 1
+        total += s
+        prev = t
+    trains.append(PacketTrain(start, prev, count, total))
+    return trains
+
+
+def train_intervals(trains: Iterable[PacketTrain]) -> list[float]:
+    """Gaps between consecutive trains (end of one to start of the next)."""
+    trains = list(trains)
+    return [
+        nxt.start_time - cur.end_time
+        for cur, nxt in zip(trains, trains[1:])
+    ]

@@ -1,0 +1,40 @@
+"""Measurement: completion statistics and network monitors."""
+
+from repro.metrics.monitors import (
+    CwndTracer,
+    GoodputMeter,
+    QueueMonitor,
+    SinkThroughputMonitor,
+    ThroughputMonitor,
+)
+from repro.metrics.ascii import cdf_table, sparkline, strip_chart
+from repro.metrics.tracing import LoggedPacket, PacketLogger
+from repro.metrics.stats import (
+    CompletionSummary,
+    act,
+    cdf_points,
+    completion_times,
+    jain_fairness,
+    percentile,
+    summarize,
+)
+
+__all__ = [
+    "CompletionSummary",
+    "CwndTracer",
+    "GoodputMeter",
+    "LoggedPacket",
+    "PacketLogger",
+    "QueueMonitor",
+    "SinkThroughputMonitor",
+    "ThroughputMonitor",
+    "act",
+    "cdf_points",
+    "cdf_table",
+    "completion_times",
+    "jain_fairness",
+    "percentile",
+    "sparkline",
+    "strip_chart",
+    "summarize",
+]

@@ -1,0 +1,175 @@
+"""Network monitors: queue length, throughput, goodput, window traces.
+
+These wrap :class:`repro.sim.monitor.PeriodicSampler` around the
+substrate's counters, mirroring the NS2 trace hooks the paper's figures
+were produced from.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.net.link import Link
+from repro.sim.kernel import Simulator
+from repro.sim.monitor import PeriodicSampler, TimeSeries
+from repro.tcp.base import TcpSink, TcpSource
+
+__all__ = [
+    "CwndTracer",
+    "GoodputMeter",
+    "QueueMonitor",
+    "SinkThroughputMonitor",
+    "ThroughputMonitor",
+]
+
+
+class QueueMonitor:
+    """Samples a link's egress backlog (packets) at a fixed period."""
+
+    def __init__(self, sim: Simulator, link: Link, period: float = 1e-3) -> None:
+        self._sampler = PeriodicSampler(
+            sim, period, lambda: link.backlog_pkts, name=f"qlen:{link.name}"
+        )
+
+    def start(self, at: Optional[float] = None) -> "QueueMonitor":
+        self._sampler.start(at)
+        return self
+
+    def stop(self) -> None:
+        self._sampler.stop()
+
+    @property
+    def series(self) -> TimeSeries:
+        return self._sampler.series
+
+    @property
+    def average_pkts(self) -> float:
+        return self.series.mean()
+
+    @property
+    def peak_pkts(self) -> float:
+        return self.series.max()
+
+
+class ThroughputMonitor:
+    """Link throughput in bits/s, sampled as deltas of ``tx_bytes``."""
+
+    def __init__(self, sim: Simulator, link: Link, period: float = 10e-3) -> None:
+        self.link = link
+        self.period = period
+        self._last_bytes = 0
+        self._sampler = PeriodicSampler(
+            sim, period, self._probe, name=f"thr:{link.name}"
+        )
+
+    def _probe(self) -> float:
+        current = self.link.stats.tx_bytes
+        delta = current - self._last_bytes
+        self._last_bytes = current
+        return delta * 8.0 / self.period
+
+    def start(self, at: Optional[float] = None) -> "ThroughputMonitor":
+        if at is None or at <= self._sampler.sim.now:
+            self._last_bytes = self.link.stats.tx_bytes
+        self._sampler.start(at)
+        return self
+
+    def stop(self) -> None:
+        self._sampler.stop()
+
+    @property
+    def series(self) -> TimeSeries:
+        return self._sampler.series
+
+    def mean_bps(self, start: float = 0.0, end: float = float("inf")) -> float:
+        window = self.series.window(start, end)
+        return window.mean()
+
+
+class GoodputMeter:
+    """Unique application bytes delivered to a sink per unit time."""
+
+    def __init__(self, sim: Simulator, sink: TcpSink) -> None:
+        self.sim = sim
+        self.sink = sink
+        self._start_time: Optional[float] = None
+        self._start_segments = 0
+
+    def start(self) -> "GoodputMeter":
+        self._start_time = self.sim.now
+        self._start_segments = self.sink.delivered_segments
+        return self
+
+    def goodput_bps(self, mss_bytes: int = 1460) -> float:
+        if self._start_time is None:
+            raise RuntimeError("GoodputMeter.start() was never called")
+        elapsed = self.sim.now - self._start_time
+        if elapsed <= 0:
+            raise RuntimeError("no time has elapsed since start()")
+        segments = self.sink.delivered_segments - self._start_segments
+        return segments * mss_bytes * 8.0 / elapsed
+
+
+class SinkThroughputMonitor:
+    """Per-flow goodput in bits/s, from deltas of a sink's deliveries.
+
+    This is the per-connection counterpart of :class:`ThroughputMonitor`
+    (which measures a whole link); Fig. 10's convergence curves are per
+    connection, so they sample sinks.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        sink: TcpSink,
+        period: float = 10e-3,
+        mss_bytes: int = 1460,
+    ) -> None:
+        self.sink = sink
+        self.period = period
+        self.mss_bytes = mss_bytes
+        self._last_segments = 0
+        self._sampler = PeriodicSampler(
+            sim, period, self._probe, name=f"flow:{sink.name}"
+        )
+
+    def _probe(self) -> float:
+        current = self.sink.delivered_segments
+        delta = current - self._last_segments
+        self._last_segments = current
+        return delta * self.mss_bytes * 8.0 / self.period
+
+    def start(self, at: Optional[float] = None) -> "SinkThroughputMonitor":
+        self._sampler.start(at)
+        return self
+
+    def stop(self) -> None:
+        self._sampler.stop()
+
+    @property
+    def series(self) -> TimeSeries:
+        return self._sampler.series
+
+    def mean_bps(self, start: float = 0.0, end: float = float("inf")) -> float:
+        window = self.series.window(start, end)
+        return window.mean()
+
+
+class CwndTracer:
+    """Samples a sender's congestion window (segments) at a fixed period."""
+
+    def __init__(self, sim: Simulator, source: TcpSource, period: float = 1e-3) -> None:
+        self._sampler = PeriodicSampler(
+            sim, period, lambda: source.cwnd, name=f"cwnd:{source.name}"
+        )
+
+    def start(self, at: Optional[float] = None) -> "CwndTracer":
+        self._sampler.start(at)
+        return self
+
+    def stop(self) -> None:
+        self._sampler.stop()
+
+    @property
+    def series(self) -> TimeSeries:
+        return self._sampler.series

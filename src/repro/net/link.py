@@ -1,0 +1,117 @@
+"""Unidirectional links.
+
+A link serializes one packet at a time at ``bandwidth_bps``, then the
+packet propagates for ``delay_s`` before arriving at the destination
+node.  Arrivals while the transmitter is busy wait in the link's egress
+queue (or are dropped by it).  A full-duplex cable is modelled as two
+independent ``Link`` instances sharing nothing, exactly as in NS2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Optional
+
+from repro.net.packet import Packet
+from repro.net.queues import DropTailQueue
+from repro.sim.kernel import Simulator
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.node import Node
+
+__all__ = ["Link", "LinkStats"]
+
+
+@dataclass
+class LinkStats:
+    """Lifetime counters for a link's transmitter."""
+
+    tx_packets: int = 0
+    tx_bytes: int = 0
+    busy_time: float = 0.0
+
+
+class Link:
+    """One direction of a cable: ``src_node`` → ``dst_node``.
+
+    Parameters
+    ----------
+    bandwidth_bps:
+        Serialization rate in bits per second.
+    delay_s:
+        One-way propagation delay in seconds.
+    queue:
+        Egress queue holding packets while the transmitter is busy.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        src_node: "Node",
+        dst_node: "Node",
+        bandwidth_bps: float,
+        delay_s: float,
+        queue: DropTailQueue,
+        name: str = "",
+    ) -> None:
+        if bandwidth_bps <= 0:
+            raise ValueError("bandwidth must be positive")
+        if delay_s < 0:
+            raise ValueError("propagation delay cannot be negative")
+        self.sim = sim
+        self.src_node = src_node
+        self.dst_node = dst_node
+        self.bandwidth_bps = bandwidth_bps
+        self.delay_s = delay_s
+        self.queue = queue
+        self.name = name or f"{src_node.name}->{dst_node.name}"
+        self.stats = LinkStats()
+        self._busy = False
+        # Optional per-delivery hook, e.g. goodput monitors:
+        self.on_deliver: Optional[Callable[[Packet], None]] = None
+
+    # ------------------------------------------------------------------
+    def send(self, pkt: Packet) -> None:
+        """Entry point used by the owning node to emit ``pkt``."""
+        self.queue.tick(self.sim.now)
+        if self._busy:
+            self.queue.enqueue(pkt)
+            return
+        self._transmit(pkt)
+
+    @property
+    def busy(self) -> bool:
+        return self._busy
+
+    @property
+    def backlog_pkts(self) -> int:
+        """Packets waiting in the egress queue (excludes the one in service)."""
+        return len(self.queue)
+
+    def tx_time(self, pkt: Packet) -> float:
+        """Serialization time of ``pkt`` on this link."""
+        return pkt.size_bytes * 8.0 / self.bandwidth_bps
+
+    # ------------------------------------------------------------------
+    def _transmit(self, pkt: Packet) -> None:
+        self._busy = True
+        tx = self.tx_time(pkt)
+        self.stats.tx_packets += 1
+        self.stats.tx_bytes += pkt.size_bytes
+        self.stats.busy_time += tx
+        self.sim.schedule(tx, self._tx_done)
+        self.sim.schedule(tx + self.delay_s, self._deliver, pkt)
+
+    def _tx_done(self) -> None:
+        self.queue.tick(self.sim.now)
+        nxt = self.queue.dequeue()
+        if nxt is None:
+            self._busy = False
+        else:
+            self._transmit(nxt)
+
+    def _deliver(self, pkt: Packet) -> None:
+        pkt.hops += 1
+        if self.on_deliver is not None:
+            self.on_deliver(pkt)
+        self.dst_node.receive(pkt)

@@ -1,0 +1,229 @@
+"""Egress queues: drop-tail, ECN-threshold marking, and classic RED.
+
+``DropTailQueue`` is the paper's COTS-switch model: a FIFO measured in
+packets that silently drops arrivals once full.  ``EcnQueue`` adds
+DCTCP-style marking — an arriving ECN-capable packet has CE set when the
+instantaneous queue occupancy is at or above the marking threshold; it
+still tail-drops at capacity, so non-ECN flows see normal losses.
+``RedQueue`` implements Floyd & Jacobson's Random Early Detection as an
+additional AQM substrate (NS2 ships it; the DCTCP lineage compares
+against it), with an optional mark-instead-of-drop ECN mode.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.net.packet import Packet
+
+__all__ = ["DropTailQueue", "EcnQueue", "QueueStats", "RedQueue"]
+
+
+@dataclass
+class QueueStats:
+    """Counters a queue keeps over its lifetime."""
+
+    enqueued: int = 0
+    dequeued: int = 0
+    dropped: int = 0
+    marked: int = 0
+    peak_length: int = 0
+
+
+class DropTailQueue:
+    """FIFO queue with a fixed capacity in packets.
+
+    ``capacity_pkts`` counts waiting packets only; the packet currently
+    being serialized by the link is not in the queue (matching NS2's
+    DropTail accounting, which the paper's "buffer of 100 packets ⇒ at
+    most 118 packets in flight" arithmetic assumes).
+    """
+
+    def __init__(self, capacity_pkts: int, name: str = "") -> None:
+        if capacity_pkts < 1:
+            raise ValueError("queue capacity must be at least 1 packet")
+        self.capacity_pkts = capacity_pkts
+        self.name = name
+        self.stats = QueueStats()
+        self._fifo: deque[Packet] = deque()
+        self.on_drop: Optional[Callable[[Packet], None]] = None
+
+    def __len__(self) -> int:
+        return len(self._fifo)
+
+    def tick(self, now: float) -> None:
+        """Advance the queue's notion of time (used by time-aware AQMs;
+        a no-op for plain drop-tail).  Links call this before touching
+        the queue so the queue never needs a simulator reference."""
+
+    def enqueue(self, pkt: Packet) -> bool:
+        """Add ``pkt``; returns False (and drops it) when full."""
+        if len(self._fifo) >= self.capacity_pkts:
+            self.stats.dropped += 1
+            if self.on_drop is not None:
+                self.on_drop(pkt)
+            return False
+        self._admit(pkt)
+        return True
+
+    def dequeue(self) -> Optional[Packet]:
+        """Remove and return the head packet, or None when empty."""
+        if not self._fifo:
+            return None
+        self.stats.dequeued += 1
+        return self._fifo.popleft()
+
+    def _admit(self, pkt: Packet) -> None:
+        self._fifo.append(pkt)
+        self.stats.enqueued += 1
+        if len(self._fifo) > self.stats.peak_length:
+            self.stats.peak_length = len(self._fifo)
+
+
+class EcnQueue(DropTailQueue):
+    """Drop-tail queue with DCTCP threshold marking.
+
+    An ECN-capable arrival is CE-marked when the queue already holds at
+    least ``mark_threshold_pkts`` packets (instantaneous marking, as the
+    DCTCP paper prescribes for low-latency operation).
+    """
+
+    def __init__(
+        self,
+        capacity_pkts: int,
+        mark_threshold_pkts: int,
+        name: str = "",
+    ) -> None:
+        super().__init__(capacity_pkts, name)
+        if not 0 < mark_threshold_pkts <= capacity_pkts:
+            raise ValueError(
+                "mark threshold must be in (0, capacity]; got "
+                f"{mark_threshold_pkts} for capacity {capacity_pkts}"
+            )
+        self.mark_threshold_pkts = mark_threshold_pkts
+
+    def enqueue(self, pkt: Packet) -> bool:
+        if len(self._fifo) >= self.capacity_pkts:
+            self.stats.dropped += 1
+            if self.on_drop is not None:
+                self.on_drop(pkt)
+            return False
+        if pkt.ecn_capable and len(self._fifo) >= self.mark_threshold_pkts:
+            pkt.ecn_ce = True
+            self.stats.marked += 1
+        self._admit(pkt)
+        return True
+
+
+class RedQueue(DropTailQueue):
+    """Random Early Detection (Floyd & Jacobson 1993).
+
+    The average queue length is an EWMA updated on every arrival, with
+    the standard idle-time correction (the average decays as if ``m``
+    small packets had drained while the queue sat empty).  Between
+    ``min_threshold`` and ``max_threshold`` arrivals are dropped (or
+    CE-marked when ``ecn_mode`` and the packet is ECN-capable) with the
+    count-corrected probability ``pa = pb / (1 − count·pb)``; at or
+    above ``max_threshold`` every arrival is dropped/marked.  Physical
+    capacity still tail-drops.
+    """
+
+    WEIGHT = 0.002  # the classic w_q
+
+    def __init__(
+        self,
+        capacity_pkts: int,
+        min_threshold: float,
+        max_threshold: float,
+        max_probability: float = 0.1,
+        ecn_mode: bool = False,
+        mean_tx_time: float = 12e-6,  # one MSS at 1 Gbps
+        seed: int = 0,
+        name: str = "",
+    ) -> None:
+        super().__init__(capacity_pkts, name)
+        if not 0 < min_threshold < max_threshold <= capacity_pkts:
+            raise ValueError(
+                "need 0 < min_threshold < max_threshold <= capacity"
+            )
+        if not 0 < max_probability <= 1:
+            raise ValueError("max_probability must be in (0, 1]")
+        if mean_tx_time <= 0:
+            raise ValueError("mean_tx_time must be positive")
+        self.min_threshold = min_threshold
+        self.max_threshold = max_threshold
+        self.max_probability = max_probability
+        self.ecn_mode = ecn_mode
+        self.mean_tx_time = mean_tx_time
+        self.avg = 0.0
+        self._count = -1
+        self._idle_since: Optional[float] = 0.0
+        self._rng = np.random.Generator(np.random.PCG64(seed))
+        #: the caller (link) advances this clock via tick(); kept
+        #: explicit so the queue stays independent of the simulator.
+        self.now = 0.0
+
+    def tick(self, now: float) -> None:
+        self.now = now
+
+    def enqueue(self, pkt: Packet) -> bool:
+        self._update_average()
+        if len(self._fifo) >= self.capacity_pkts:
+            self.stats.dropped += 1
+            self._count = 0
+            if self.on_drop is not None:
+                self.on_drop(pkt)
+            return False
+        if self._early_action():
+            if self.ecn_mode and pkt.ecn_capable:
+                pkt.ecn_ce = True
+                self.stats.marked += 1
+            else:
+                self.stats.dropped += 1
+                self._count = 0
+                if self.on_drop is not None:
+                    self.on_drop(pkt)
+                return False
+        self._admit(pkt)
+        return True
+
+    def dequeue(self) -> Optional[Packet]:
+        pkt = super().dequeue()
+        if pkt is not None and not self._fifo:
+            self._idle_since = self.now
+        return pkt
+
+    # ------------------------------------------------------------------
+    def _update_average(self) -> None:
+        q = len(self._fifo)
+        if q == 0 and self._idle_since is not None:
+            # Idle correction: decay as if m packets drained meanwhile.
+            m = max(0.0, (self.now - self._idle_since) / self.mean_tx_time)
+            self.avg *= (1.0 - self.WEIGHT) ** m
+            self._idle_since = None
+        else:
+            self.avg = (1.0 - self.WEIGHT) * self.avg + self.WEIGHT * q
+
+    def _early_action(self) -> bool:
+        """True when RED decides to drop/mark this arrival."""
+        if self.avg < self.min_threshold:
+            self._count = -1
+            return False
+        if self.avg >= self.max_threshold:
+            self._count = 0
+            return True
+        self._count += 1
+        pb = self.max_probability * (
+            (self.avg - self.min_threshold)
+            / (self.max_threshold - self.min_threshold)
+        )
+        denominator = 1.0 - self._count * pb
+        pa = 1.0 if denominator <= 0 else min(1.0, pb / denominator)
+        if self._rng.random() < pa:
+            self._count = 0
+            return True
+        return False

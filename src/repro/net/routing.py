@@ -1,0 +1,62 @@
+"""Static shortest-path routing with equal-cost multipath.
+
+Routes are computed once after the topology is built: for every
+destination host, a breadth-first search over reversed links yields hop
+counts, and each switch's next hops towards that destination are all
+neighbours one hop closer.  Hosts need no table (they have one NIC).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable
+
+from repro.net.node import Host, Node, Switch
+
+__all__ = ["build_routing_tables"]
+
+
+def build_routing_tables(nodes: Iterable[Node]) -> None:
+    """Populate every switch's route table for every host destination."""
+    nodes = list(nodes)
+    hosts = [n for n in nodes if isinstance(n, Host)]
+    switches = [n for n in nodes if isinstance(n, Switch)]
+
+    # Reverse adjacency: who has an egress link *to* this node?
+    predecessors: dict[int, list[Node]] = {n.node_id: [] for n in nodes}
+    by_id = {n.node_id: n for n in nodes}
+    for node in nodes:
+        for neighbour_id in node.egress:
+            predecessors[neighbour_id].append(node)
+
+    for dst in hosts:
+        dist = _bfs_distances(dst, predecessors)
+        for switch in switches:
+            d = dist.get(switch.node_id)
+            if d is None:
+                continue  # destination unreachable from this switch
+            next_hops = tuple(
+                sorted(
+                    neighbour_id
+                    for neighbour_id in switch.egress
+                    if dist.get(neighbour_id) == d - 1
+                )
+            )
+            if next_hops:
+                switch.set_route(dst.node_id, next_hops)
+    _ = by_id  # kept for symmetry; ids resolve through egress maps
+
+
+def _bfs_distances(
+    dst: Node, predecessors: dict[int, list[Node]]
+) -> dict[int, int]:
+    """Hop counts to ``dst`` following links in their forwarding direction."""
+    dist = {dst.node_id: 0}
+    frontier: deque[Node] = deque([dst])
+    while frontier:
+        node = frontier.popleft()
+        for pred in predecessors[node.node_id]:
+            if pred.node_id not in dist:
+                dist[pred.node_id] = dist[node.node_id] + 1
+                frontier.append(pred)
+    return dist

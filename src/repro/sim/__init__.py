@@ -1,0 +1,21 @@
+"""Discrete-event simulation kernel.
+
+This subpackage is the NS2 substitute's engine: a binary-heap event
+scheduler (:mod:`repro.sim.kernel`), seeded random-number streams
+(:mod:`repro.sim.randomness`), and time-series monitors
+(:mod:`repro.sim.monitor`).
+"""
+
+from repro.sim.kernel import Event, SimulationError, Simulator
+from repro.sim.monitor import PeriodicSampler, TimeSeries, rate_series
+from repro.sim.randomness import RandomStreams
+
+__all__ = [
+    "Event",
+    "PeriodicSampler",
+    "RandomStreams",
+    "SimulationError",
+    "Simulator",
+    "TimeSeries",
+    "rate_series",
+]

@@ -1,0 +1,144 @@
+"""Time-series recording for simulations.
+
+:class:`TimeSeries` is an append-only ``(time, value)`` log used by queue
+monitors, throughput monitors, and congestion-window traces.
+:class:`PeriodicSampler` drives a callback at a fixed period and records
+its return value — the standard way to trace a queue length or compute a
+windowed throughput, mirroring NS2's queue monitors.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence
+
+from repro.sim.kernel import Simulator
+
+__all__ = ["PeriodicSampler", "TimeSeries"]
+
+
+class TimeSeries:
+    """An append-only sequence of ``(time, value)`` samples."""
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self.times: list[float] = []
+        self.values: list[float] = []
+
+    def record(self, time: float, value: float) -> None:
+        self.times.append(time)
+        self.values.append(value)
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    def __iter__(self):
+        return iter(zip(self.times, self.values))
+
+    def last(self) -> tuple[float, float]:
+        """The most recent sample.  Raises IndexError when empty."""
+        return self.times[-1], self.values[-1]
+
+    def max(self) -> float:
+        return max(self.values)
+
+    def min(self) -> float:
+        return min(self.values)
+
+    def mean(self) -> float:
+        """Unweighted mean of the recorded values."""
+        if not self.values:
+            raise ValueError(f"time series {self.name!r} is empty")
+        return sum(self.values) / len(self.values)
+
+    def time_average(self) -> float:
+        """Time-weighted average, treating samples as a step function.
+
+        Each value is held from its own timestamp to the next sample's
+        timestamp; the final sample gets zero weight (it has no known
+        duration), so at least two samples are required.
+        """
+        if len(self.times) < 2:
+            raise ValueError("time_average needs at least two samples")
+        total = 0.0
+        for i in range(len(self.times) - 1):
+            total += self.values[i] * (self.times[i + 1] - self.times[i])
+        span = self.times[-1] - self.times[0]
+        if span <= 0:
+            raise ValueError("samples span zero time")
+        return total / span
+
+    def window(self, start: float, end: float) -> "TimeSeries":
+        """Samples with ``start <= time < end`` as a new series."""
+        out = TimeSeries(self.name)
+        for t, v in zip(self.times, self.values):
+            if start <= t < end:
+                out.record(t, v)
+        return out
+
+
+class PeriodicSampler:
+    """Calls ``probe()`` every ``period`` seconds and logs the result.
+
+    The sampler schedules itself; call :meth:`start` once (optionally at
+    a time offset) and :meth:`stop` to end sampling.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        period: float,
+        probe: Callable[[], float],
+        name: str = "",
+    ) -> None:
+        if period <= 0:
+            raise ValueError("sampling period must be positive")
+        self.sim = sim
+        self.period = period
+        self.probe = probe
+        self.series = TimeSeries(name)
+        self._event = None
+        self._stopped = False
+
+    def start(self, at: Optional[float] = None) -> "PeriodicSampler":
+        when = self.sim.now if at is None else at
+        self._event = self.sim.schedule_at(when, self._tick)
+        return self
+
+    def stop(self) -> None:
+        self._stopped = True
+        if self._event is not None:
+            self._event.cancel()
+
+    def _tick(self) -> None:
+        if self._stopped:
+            return
+        self.series.record(self.sim.now, float(self.probe()))
+        self._event = self.sim.schedule(self.period, self._tick)
+
+
+def rate_series(
+    event_times: Sequence[float],
+    event_sizes: Sequence[float],
+    bin_width: float,
+    start: float = 0.0,
+    end: Optional[float] = None,
+) -> TimeSeries:
+    """Bin per-event sizes into a rate time series (units/second).
+
+    Used to turn per-packet delivery logs into throughput curves, e.g.
+    bits delivered per 10 ms bin → Mbps.
+    """
+    if bin_width <= 0:
+        raise ValueError("bin_width must be positive")
+    if end is None:
+        end = max(event_times, default=start) + bin_width
+    series = TimeSeries("rate")
+    n_bins = max(1, int((end - start) / bin_width + 0.999999))
+    totals = [0.0] * n_bins
+    for t, s in zip(event_times, event_sizes):
+        if t < start or t >= end:
+            continue
+        totals[min(int((t - start) / bin_width), n_bins - 1)] += s
+    for i, total in enumerate(totals):
+        series.record(start + i * bin_width, total / bin_width)
+    return series

@@ -1,0 +1,54 @@
+"""Transport substrate: TCP senders, sinks, and the protocol registry.
+
+The base machinery (:mod:`repro.tcp.base`) implements NS2-style
+segment-level TCP Reno; variants subclass it:
+
+* :class:`~repro.tcp.reno.RenoSource` — the paper's "legacy TCP".
+* :class:`~repro.tcp.cubic.CubicSource` — Linux default, testbed baseline.
+* :class:`~repro.tcp.dctcp.DctcpSource` — ECN-based comparison.
+* :class:`~repro.tcp.l2dct.L2dctSource` — LAS-weighted DCTCP comparison.
+* :class:`~repro.tcp.gip.GipSource` — restart-at-2 ablation baseline.
+* ``TrimSource`` (in :mod:`repro.core.trim`) — the paper's contribution.
+"""
+
+from repro.tcp.base import Message, TcpConfig, TcpSink, TcpSource
+from repro.tcp.cubic import CubicSource
+from repro.tcp.d2tcp import D2tcpSource
+from repro.tcp.dctcp import DctcpSource
+from repro.tcp.factory import (
+    ECN_PROTOCOLS,
+    PROTOCOLS,
+    create_source,
+    default_config,
+    make_connection,
+    source_class,
+)
+from repro.tcp.gip import GipSource
+from repro.tcp.l2dct import L2dctSource
+from repro.tcp.reno import RenoSource
+from repro.tcp.rtt import EwmaRtt, RttEstimator
+from repro.tcp.timely import TimelySource
+from repro.tcp.vegas import VegasSource
+
+__all__ = [
+    "CubicSource",
+    "D2tcpSource",
+    "DctcpSource",
+    "ECN_PROTOCOLS",
+    "EwmaRtt",
+    "GipSource",
+    "L2dctSource",
+    "Message",
+    "PROTOCOLS",
+    "RenoSource",
+    "RttEstimator",
+    "TcpConfig",
+    "TcpSink",
+    "TcpSource",
+    "TimelySource",
+    "VegasSource",
+    "create_source",
+    "default_config",
+    "make_connection",
+    "source_class",
+]

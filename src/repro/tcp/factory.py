@@ -1,0 +1,117 @@
+"""Protocol registry: build a sender by name.
+
+Experiments select protocols with strings (``"reno"``, ``"trim"``, ...)
+so sweeps over protocols are data, not code.  TCP-TRIM itself lives in
+:mod:`repro.core.trim`; it is registered here lazily to avoid a circular
+import between the substrate and the contribution.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Type
+
+from repro.net.node import Host
+from repro.sim.kernel import Simulator
+from repro.tcp.base import TcpConfig, TcpSink, TcpSource
+from repro.tcp.cubic import CubicSource
+from repro.tcp.d2tcp import D2tcpSource
+from repro.tcp.dctcp import DctcpSource
+from repro.tcp.gip import GipSource
+from repro.tcp.l2dct import L2dctSource
+from repro.tcp.reno import RenoSource
+from repro.tcp.timely import TimelySource
+from repro.tcp.vegas import VegasSource
+
+__all__ = [
+    "ECN_PROTOCOLS",
+    "PROTOCOLS",
+    "create_source",
+    "make_connection",
+    "source_class",
+]
+
+PROTOCOLS: dict[str, Type[TcpSource]] = {
+    "reno": RenoSource,
+    "cubic": CubicSource,
+    "dctcp": DctcpSource,
+    "l2dct": L2dctSource,
+    "gip": GipSource,
+    "vegas": VegasSource,
+    "d2tcp": D2tcpSource,
+    "timely": TimelySource,
+}
+
+#: protocols that need the network built with an ECN marking threshold
+ECN_PROTOCOLS = frozenset({"dctcp", "l2dct", "d2tcp"})
+
+
+def _register_trim() -> None:
+    if "trim" in PROTOCOLS:
+        return
+    from repro.core.trim import TrimSource
+
+    PROTOCOLS["trim"] = TrimSource
+
+
+def source_class(protocol: str) -> Type[TcpSource]:
+    """The sender class registered under ``protocol``."""
+    _register_trim()
+    try:
+        return PROTOCOLS[protocol]
+    except KeyError:
+        known = ", ".join(sorted(PROTOCOLS))
+        raise ValueError(f"unknown protocol {protocol!r}; known: {known}") from None
+
+
+def default_config(protocol: str, **overrides) -> TcpConfig:
+    """A TcpConfig suited to ``protocol``.
+
+    ECN protocols get ECT set; CUBIC models Linux and therefore gets
+    NewReno-style partial-ACK recovery (a stand-in for SACK recovery —
+    plain-Reno multi-loss windows would stall on RTOs that the real
+    Linux stack avoids).
+    """
+    if protocol in ECN_PROTOCOLS:
+        overrides.setdefault("ecn_capable", True)
+    if protocol == "cubic":
+        overrides.setdefault("recovery", "newreno")
+    return TcpConfig(**overrides)
+
+
+def create_source(
+    protocol: str,
+    sim: Simulator,
+    host: Host,
+    flow_id: int,
+    dst_id: int,
+    config: Optional[TcpConfig] = None,
+    **source_kwargs,
+) -> TcpSource:
+    """Instantiate a sender of the requested protocol on ``host``."""
+    cls = source_class(protocol)
+    if config is None:
+        config = default_config(protocol)
+    return cls(sim, host, flow_id, dst_id, config=config, **source_kwargs)
+
+
+def make_connection(
+    protocol: str,
+    sim: Simulator,
+    src_host: Host,
+    dst_host: Host,
+    flow_id: int,
+    config: Optional[TcpConfig] = None,
+    **source_kwargs,
+) -> tuple[TcpSource, TcpSink]:
+    """Wire a source on ``src_host`` to a fresh sink on ``dst_host``."""
+    source = create_source(
+        protocol,
+        sim,
+        src_host,
+        flow_id,
+        dst_host.node_id,
+        config=config,
+        **source_kwargs,
+    )
+    sink = TcpSink(sim, dst_host, flow_id)
+    return source, sink

@@ -1,0 +1,121 @@
+"""Unit and property tests for the K guideline (Eqs. 4–22)."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core import kguide
+
+# A 1 Gbps link in 1460 B packets, 200 µs base RTT: the paper's star.
+C = 1e9 / (8 * 1460)
+D = 200e-6
+
+capacities = st.floats(min_value=1e3, max_value=1e7)
+rtts = st.floats(min_value=1e-6, max_value=0.1)
+flows = st.integers(min_value=1, max_value=500)
+
+
+class TestFormulas:
+    def test_k_threshold_star_scenario(self):
+        k = kguide.k_threshold(C, D)
+        expected = (math.sqrt(2 * C * D) - 1) ** 2 / C
+        assert k == pytest.approx(max(expected, D))
+
+    def test_k_threshold_small_cd_degenerates_to_d(self):
+        # With tiny C·D the bound drops below D and K = D.
+        assert kguide.k_threshold(1e3, 1e-6) == 1e-6
+
+    def test_desired_queue(self):
+        assert kguide.desired_queue_pkts(C, D + 1e-4, D) == pytest.approx(C * 1e-4)
+
+    def test_desired_queue_rejects_k_below_d(self):
+        with pytest.raises(ValueError):
+            kguide.desired_queue_pkts(C, D / 2, D)
+
+    def test_steady_window(self):
+        assert kguide.steady_window_pkts(C, 3e-4, 5) == pytest.approx(C * 3e-4 / 5)
+
+    def test_max_queue_adds_n(self):
+        k = kguide.k_threshold(C, D)
+        assert kguide.max_queue_pkts(C, k, D, 7) == pytest.approx(
+            kguide.desired_queue_pkts(C, k, D) + 7
+        )
+
+    def test_congestion_level_eq2(self):
+        assert kguide.congestion_level(2e-3, 1e-3) == pytest.approx(0.5)
+        assert kguide.congestion_level(1e-3, 2e-3) == 0.0
+
+    def test_congestion_level_validation(self):
+        with pytest.raises(ValueError):
+            kguide.congestion_level(0.0, 1e-3)
+        with pytest.raises(ValueError):
+            kguide.congestion_level(1e-3, -1.0)
+
+    def test_total_window_decrement_eq10(self):
+        k = 3e-4
+        n = 4
+        ck = C * k
+        expected = (ck + n) / (2 * n) * sum(j / (ck + j) for j in range(1, n + 1))
+        assert kguide.total_window_decrement(C, k, n) == pytest.approx(expected)
+
+    def test_f_bound_eq17(self):
+        n = 10
+        assert kguide.f_bound(n, C, D) == pytest.approx(2 * n * D / (n + 1) - n / C)
+
+    def test_stationary_point_eq19(self):
+        assert kguide.f_stationary_point(C, D) == pytest.approx(
+            math.sqrt(2 * C * D) - 1
+        )
+
+    def test_f_max_eq21(self):
+        assert kguide.f_max(C, D) == pytest.approx(
+            (math.sqrt(2 * C * D) - 1) ** 2 / C
+        )
+
+    def test_validation_of_cd(self):
+        for fn in (kguide.k_threshold, kguide.f_max, kguide.f_stationary_point):
+            with pytest.raises(ValueError):
+                fn(0.0, D)
+            with pytest.raises(ValueError):
+                fn(C, 0.0)
+
+
+class TestGuidelineProperties:
+    @given(capacities, rtts)
+    def test_k_at_least_d(self, c, d):
+        assert kguide.k_threshold(c, d) >= d
+
+    @given(capacities, rtts, flows)
+    def test_k_dominates_f_bound_for_all_n(self, c, d, n):
+        """Eq. 22's whole point: K ≥ F(N) for every flow count."""
+        k = kguide.k_threshold(c, d)
+        assert k >= kguide.f_bound(n, c, d) - 1e-12
+
+    @given(capacities, rtts)
+    def test_f_max_attained_at_stationary_point(self, c, d):
+        n_star = kguide.f_stationary_point(c, d)
+        if n_star <= 0:
+            return  # F is maximized at the boundary; nothing to check
+        peak = kguide.f_bound(n_star, c, d)
+        assert peak == pytest.approx(kguide.f_max(c, d), rel=1e-9)
+        for other in (n_star * 0.5, n_star * 2.0):
+            assert kguide.f_bound(other, c, d) <= peak + 1e-12
+
+    @given(capacities, rtts, st.integers(min_value=1, max_value=100))
+    def test_utilization_holds_at_guideline_k(self, c, d, n):
+        """Eq. 11 is satisfied when K follows Eq. 22 (plus epsilon)."""
+        k = kguide.k_threshold(c, d) * 1.0001
+        assert kguide.utilization_holds(c, k, d, n)
+
+    @given(capacities, rtts)
+    def test_congestion_level_bounded(self, c, d):
+        k = kguide.k_threshold(c, d)
+        for rtt in (k, k * 1.5, k * 10):
+            ep = kguide.congestion_level(rtt, k)
+            assert 0.0 <= ep < 1.0
+
+    @given(capacities, rtts, flows)
+    def test_decrement_positive(self, c, d, n):
+        k = kguide.k_threshold(c, d)
+        assert kguide.total_window_decrement(c, k, n) > 0

@@ -1,0 +1,61 @@
+"""Reproducibility: identical seeds give bit-identical results.
+
+The paper's experiments are Monte-Carlo over workloads; for the
+reproduction to be reviewable, every run must be a pure function of its
+seed.  These tests re-run representative experiments twice and demand
+exact equality.
+"""
+
+from repro.experiments.concurrency import ConcurrencyParams, run_concurrency
+from repro.experiments.fattree import FatTreeParams, run_fattree
+from repro.experiments.large_scale import LargeScaleParams, run_large_scale
+from repro.experiments.motivation import MotivationParams, run_motivation
+from repro.experiments.workload_figs import characterize_workload
+
+
+class TestDeterminism:
+    def test_motivation_reruns_identically(self):
+        params = MotivationParams.quick("trim", n_servers=2, n_responses=20,
+                                        lpt_bytes=100_000, deadline=1.0)
+        a = run_motivation(params)
+        b = run_motivation(params)
+        assert a.lpt_completion_times == b.lpt_completion_times
+        assert a.timeouts_per_connection == b.timeouts_per_connection
+        assert a.dropped_packets == b.dropped_packets
+        assert a.queue_pkts.values == b.queue_pkts.values
+
+    def test_concurrency_reruns_identically(self):
+        params = ConcurrencyParams.quick("reno", deadline=2.0)
+        a = run_concurrency(params, n_spts=4)
+        b = run_concurrency(params, n_spts=4)
+        assert a.act == b.act
+        assert a.max_ct == b.max_ct
+        assert a.dropped_packets == b.dropped_packets
+
+    def test_large_scale_seeded_by_repeat_index(self):
+        params = LargeScaleParams.quick("reno", servers_per_switch=5, repeats=1)
+        same_a, _, _ = run_large_scale(params, n_switches=2, repeat_index=0)
+        same_b, _, _ = run_large_scale(params, n_switches=2, repeat_index=0)
+        other, _, _ = run_large_scale(params, n_switches=2, repeat_index=1)
+        assert same_a == same_b
+        assert same_a != other  # repeats draw different workloads
+
+    def test_fattree_reruns_identically(self):
+        params = FatTreeParams.quick("reno", k=2, total_bytes=50_000, n_small=3)
+        a = run_fattree(params)
+        b = run_fattree(params)
+        assert a.mean_completion == b.mean_completion
+        assert a.total_timeouts == b.total_timeouts
+
+    def test_workload_characterization_identical(self):
+        a = characterize_workload(seed=5, duration=2.0)
+        b = characterize_workload(seed=5, duration=2.0)
+        assert a.packet_times == b.packet_times
+        assert [t.total_bytes for t in a.trains] == [
+            t.total_bytes for t in b.trains
+        ]
+
+    def test_different_seeds_differ(self):
+        a = characterize_workload(seed=5, duration=2.0)
+        b = characterize_workload(seed=6, duration=2.0)
+        assert a.packet_times != b.packet_times

@@ -1,0 +1,94 @@
+"""Tests for the ablation experiment harnesses."""
+
+import math
+
+import pytest
+
+from repro.experiments.ablation import (
+    run_alpha_sweep,
+    run_k_sweep,
+    run_probe_policies,
+)
+
+
+class TestKSweep:
+    @pytest.fixture(scope="class")
+    def cases(self):
+        return run_k_sweep(
+            multipliers=(0.5, 1.0, 2.0), n_trains=3, duration=0.25
+        )
+
+    def test_case_per_multiplier(self, cases):
+        assert [c.multiplier for c in cases] == [0.5, 1.0, 2.0]
+
+    def test_queue_grows_with_k(self, cases):
+        queues = [c.average_queue_pkts for c in cases]
+        assert queues == sorted(queues)
+        assert queues[-1] > queues[0]
+
+    def test_guideline_k_fully_utilizes(self, cases):
+        at_guideline = cases[1]
+        assert at_guideline.utilization > 0.9
+        assert at_guideline.dropped_packets == 0
+        assert at_guideline.timeouts == 0
+
+    def test_k_values_floor_at_base_rtt(self, cases):
+        assert all(c.k > 0 for c in cases)
+        assert cases[0].k <= cases[1].k <= cases[2].k
+
+
+class TestProbePolicies:
+    @pytest.fixture(scope="class")
+    def cases(self):
+        return {c.protocol: c for c in run_probe_policies(quick=True)}
+
+    def test_all_policies_present(self, cases):
+        assert set(cases) == {"reno", "gip", "trim"}
+
+    def test_trim_is_loss_free(self, cases):
+        assert cases["trim"].timeouts == 0
+        assert cases["trim"].dropped_packets == 0
+
+    def test_ordering_matches_design_story(self, cases):
+        # Blind inheritance worst; restart-at-2 safer; probing best.
+        assert cases["trim"].timeouts <= cases["gip"].timeouts
+        assert cases["gip"].timeouts <= cases["reno"].timeouts
+        assert (
+            cases["trim"].mean_lpt_completion
+            < cases["gip"].mean_lpt_completion
+            < cases["reno"].mean_lpt_completion
+        )
+
+
+class TestAlphaSweep:
+    @pytest.fixture(scope="class")
+    def cases(self):
+        return {c.alpha: c for c in run_alpha_sweep(alphas=(0.1, 0.25, 0.9))}
+
+    def test_every_alpha_delivers_full_stream(self, cases):
+        for case in cases.values():
+            assert case.delivered_segments == 20 * 40
+            assert not math.isnan(case.stream_finish_time)
+
+    def test_paper_alpha_is_safe(self, cases):
+        paper = cases[0.25]
+        assert paper.probe_deadline_misses <= 2
+        assert paper.stream_finish_time <= cases[0.9].stream_finish_time * 1.05
+
+    def test_sluggish_alpha_shows_instability(self, cases):
+        # α = 0.1 under-tracks the varying RTT: smooth_RTT (both the gap
+        # threshold and the probe deadline) goes stale, probes are
+        # condemned by out-of-date deadlines, and the stream slows.
+        assert (
+            cases[0.1].probe_deadline_misses
+            > 5 * (cases[0.25].probe_deadline_misses + 1)
+        )
+        assert cases[0.1].stream_finish_time > cases[0.25].stream_finish_time
+
+    def test_benign_path_is_alpha_insensitive(self):
+        # Without RTT variability the gain barely matters — every α
+        # completes the same stream at the same time.
+        cases = run_alpha_sweep(alphas=(0.1, 0.25, 0.9), background=False)
+        finishes = {round(c.stream_finish_time, 4) for c in cases}
+        assert len(finishes) == 1
+        assert all(c.probe_deadline_misses == 0 for c in cases)

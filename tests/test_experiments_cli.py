@@ -1,0 +1,41 @@
+"""Tests for the ``python -m repro.experiments`` command line."""
+
+import pytest
+
+from repro.experiments import __main__ as cli
+
+
+class TestArgumentParsing:
+    def test_unknown_experiment_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            cli.main(["fig99"])
+
+    def test_bad_preset_rejected(self):
+        with pytest.raises(SystemExit):
+            cli.main(["fig4", "--preset", "huge"])
+
+    def test_experiment_table_covers_all_figures(self):
+        expected = {
+            "fig1", "fig2", "fig4", "fig5", "fig6", "fig7", "fig8",
+            "fig9", "fig10", "fig11", "fig12", "table1", "fig13a",
+            "fig13be", "ablations", "incast",
+        }
+        assert expected == set(cli.EXPERIMENTS)
+
+
+class TestExecution:
+    def test_fig1_runs_end_to_end(self, capsys):
+        assert cli.main(["fig1", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig.1/2 workload" in out
+        assert "LPTs" in out
+
+    def test_protocol_list_parsing(self, capsys):
+        # fig1 ignores protocols but exercises the parsing path.
+        assert cli.main(["fig2", "--protocols", "reno , trim,"]) == 0
+
+    def test_quick_experiment_with_single_protocol(self, capsys):
+        assert cli.main(["fig4", "--protocols", "reno"]) == 0
+        out = capsys.readouterr().out
+        assert "inherited cwnd" in out
+        assert "timeouts/conn" in out

@@ -1,0 +1,45 @@
+"""Tests for the incast experiment harness."""
+
+import pytest
+
+from repro.experiments.incast import IncastParams, run_incast, run_incast_sweep
+
+
+class TestIncast:
+    def test_single_case_structure(self):
+        params = IncastParams.quick("reno", block_bytes=16_384, deadline=3.0)
+        case = run_incast(params, n_senders=3)
+        assert case.n_senders == 3
+        assert case.completed == 3
+        assert case.goodput_bps > 0
+        assert case.batch_completion > 0
+
+    def test_rejects_zero_senders(self):
+        with pytest.raises(ValueError):
+            run_incast(IncastParams.quick("reno"), n_senders=0)
+
+    def test_sweep_covers_counts(self):
+        params = IncastParams.quick("reno", sender_counts=(2, 4),
+                                    block_bytes=16_384, deadline=3.0)
+        cases = run_incast_sweep(params)
+        assert [c.n_senders for c in cases] == [2, 4]
+
+    def test_collapse_signature_for_reno(self):
+        params = IncastParams.quick("reno", sender_counts=(2, 16))
+        small, large = run_incast_sweep(params)
+        # Collapse: goodput at fan-in 16 falls far below fan-in 2.
+        assert large.goodput_bps < small.goodput_bps / 3
+        assert large.timeouts > 0
+
+    def test_trim_defers_collapse(self):
+        params = IncastParams.quick("trim", sender_counts=(16,))
+        (case,) = run_incast_sweep(params)
+        assert case.timeouts == 0
+        assert case.goodput_bps > 0.5e9
+
+    def test_goodput_accounting(self):
+        params = IncastParams.quick("reno", sender_counts=(2,),
+                                    block_bytes=14_600, deadline=3.0)
+        (case,) = run_incast_sweep(params)
+        expected = 2 * 14_600 * 8 / case.batch_completion
+        assert case.goodput_bps == pytest.approx(expected)

@@ -1,0 +1,78 @@
+"""Tests for the Markdown report renderer."""
+
+import json
+
+import pytest
+
+from repro.experiments.report import main, render_markdown
+from repro.experiments.store import save_results
+
+
+def artifact(tmp_path, payload, experiment="figX"):
+    return save_results(tmp_path / "a.json", experiment, payload, seed=3)
+
+
+class TestRenderMarkdown:
+    def test_header_metadata(self, tmp_path):
+        from repro.experiments.store import load_results
+
+        path = artifact(tmp_path, {"x": 1})
+        text = render_markdown(load_results(path))
+        assert "# Experiment report: figX" in text
+        assert "`quick`" in text
+        assert "seed: `3`" in text
+
+    def test_scalars_as_bullets(self, tmp_path):
+        from repro.experiments.store import load_results
+
+        path = artifact(tmp_path, {"metrics": {"act": 0.005, "timeouts": 2}})
+        text = render_markdown(load_results(path))
+        assert "- **act**: 0.005" in text
+        assert "- **timeouts**: 2" in text
+
+    def test_record_lists_as_tables(self, tmp_path):
+        from repro.experiments.store import load_results
+
+        cases = [{"n": 2, "act": 0.1}, {"n": 4, "act": 0.2}]
+        path = artifact(tmp_path, {"sweep": cases})
+        text = render_markdown(load_results(path))
+        assert "| n | act |" in text or "| act | n |" in text
+        assert text.count("|---") >= 1
+
+    def test_time_series_summarized(self, tmp_path):
+        from repro.experiments.store import load_results
+        from repro.sim.monitor import TimeSeries
+
+        ts = TimeSeries("q")
+        for i in range(5):
+            ts.record(float(i), float(i * 10))
+        path = artifact(tmp_path, {"trace": ts})
+        text = render_markdown(load_results(path))
+        assert "time series, 5 samples" in text
+        assert "max=40" in text
+
+    def test_heterogeneous_lists_fall_back(self, tmp_path):
+        from repro.experiments.store import load_results
+
+        path = artifact(tmp_path, {"mixed": [1, "two", 3.0]})
+        text = render_markdown(load_results(path))
+        assert "mixed" in text
+
+
+class TestCli:
+    def test_stdout_rendering(self, tmp_path, capsys):
+        path = artifact(tmp_path, {"x": 1})
+        assert main([str(path)]) == 0
+        assert "# Experiment report" in capsys.readouterr().out
+
+    def test_output_file(self, tmp_path, capsys):
+        path = artifact(tmp_path, {"x": 1})
+        out = tmp_path / "report.md"
+        assert main([str(path), "-o", str(out)]) == 0
+        assert out.read_text().startswith("# Experiment report")
+
+    def test_rejects_foreign_json(self, tmp_path):
+        bogus = tmp_path / "b.json"
+        bogus.write_text(json.dumps({"nope": 1}))
+        with pytest.raises(ValueError):
+            main([str(bogus)])

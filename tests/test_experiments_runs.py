@@ -1,0 +1,155 @@
+"""Structural tests: every experiment harness runs at tiny scale and
+returns well-formed results."""
+
+import pytest
+
+from repro.experiments.concurrency import ConcurrencyParams, run_concurrency
+from repro.experiments.fairness import FairnessParams, run_fairness
+from repro.experiments.fattree import FatTreeParams, run_fattree
+from repro.experiments.large_scale import LargeScaleParams, run_large_scale
+from repro.experiments.motivation import MotivationParams, run_motivation
+from repro.experiments.multihop import MultiHopParams, run_multihop
+from repro.experiments.properties import (
+    PropertiesParams,
+    run_properties_case,
+    run_queue_trace,
+)
+from repro.experiments.testbed import (
+    ArctParams,
+    WebServiceParams,
+    run_arct_sweep,
+    run_web_service,
+)
+from repro.experiments.workload_figs import characterize_workload
+
+
+class TestMotivation:
+    def test_returns_complete_result(self):
+        params = MotivationParams.quick(
+            "reno", n_servers=2, n_responses=20, lpt_bytes=100_000, deadline=1.5
+        )
+        result = run_motivation(params)
+        assert result.protocol == "reno"
+        assert len(result.cwnd_traces) == 2
+        assert len(result.timeouts_per_connection) == 2
+        assert len(result.lpt_completion_times) == 2
+        assert len(result.inherited_cwnd) == 2
+        assert result.response_act > 0
+        assert len(result.queue_pkts) > 0
+        assert len(result.throughput_bps) > 0
+
+
+class TestConcurrency:
+    def test_case_structure(self):
+        params = ConcurrencyParams.quick("reno", n_lpts=1, deadline=2.0)
+        case = run_concurrency(params, n_spts=3)
+        assert case.n_spts == 3
+        assert case.n_lpts == 1
+        assert case.completed == 3
+        assert case.min_ct <= case.act <= case.max_ct
+
+    def test_rejects_zero_spts(self):
+        with pytest.raises(ValueError):
+            run_concurrency(ConcurrencyParams.quick("reno"), n_spts=0)
+
+
+class TestProperties:
+    def test_queue_trace_runs(self):
+        params = PropertiesParams.quick("reno", end_time=0.3)
+        trace = run_queue_trace(params, n_trains=2)
+        assert len(trace) > 100
+
+    def test_case_fields(self):
+        params = PropertiesParams.quick("trim", end_time=0.3)
+        case = run_properties_case(params, n_trains=2)
+        assert case.n_trains == 2
+        assert case.goodput_bps > 0
+        assert 0 < case.utilization <= 1.05
+        assert case.average_queue_pkts <= case.peak_queue_pkts
+
+    def test_rejects_zero_trains(self):
+        with pytest.raises(ValueError):
+            run_properties_case(PropertiesParams.quick("reno"), n_trains=0)
+
+
+class TestFairness:
+    def test_result_structure(self):
+        params = FairnessParams.quick("trim", n_flows=3)
+        result = run_fairness(params)
+        assert len(result.flow_series) == 3
+        assert len(result.plateau_shares) == 3
+        assert 0 < result.plateau_fairness <= 1.0
+
+
+class TestMultiHop:
+    def test_result_structure(self):
+        params = MultiHopParams.quick("reno", group_size=2, end_time=0.4)
+        result = run_multihop(params)
+        for group in ("a", "b", "c"):
+            assert len(getattr(result, f"group_{group}_bps")) == 2
+            assert result.mean(group) > 0
+
+
+class TestLargeScale:
+    def test_single_run(self):
+        params = LargeScaleParams.quick("reno", servers_per_switch=5, repeats=1)
+        times, n_spts, _timeouts = run_large_scale(params, n_switches=2)
+        assert n_spts == 2 * (5 - params.lpts_per_switch)
+        assert len(times) == n_spts
+
+    def test_exponential_distribution(self):
+        params = LargeScaleParams.quick(
+            "reno", servers_per_switch=5, repeats=1, distribution="exponential"
+        )
+        times, n_spts, _ = run_large_scale(params, n_switches=2)
+        assert len(times) == n_spts
+
+    def test_unknown_distribution_rejected(self):
+        params = LargeScaleParams.quick(
+            "reno", servers_per_switch=4, distribution="pareto"
+        )
+        with pytest.raises(ValueError):
+            run_large_scale(params, n_switches=1)
+
+
+class TestFatTree:
+    def test_result_structure(self):
+        params = FatTreeParams.quick("reno", k=2, total_bytes=50_000, n_small=3)
+        result = run_fattree(params)
+        assert result.n_servers == 2
+        assert result.completed_servers == 2
+        assert result.big_mean_completion <= result.big_max_completion
+        assert result.mean_completion > 0.4  # includes the 0.4 s schedule
+
+
+class TestTestbed:
+    def test_arct_sweep(self):
+        params = ArctParams.quick(
+            "cubic", mean_sizes_bytes=(32768,), n_responses=5
+        )
+        cases = run_arct_sweep(params)
+        assert len(cases) == 1
+        assert cases[0].completed == 5
+        assert cases[0].arct > 0
+
+    def test_web_service(self):
+        params = WebServiceParams.quick(
+            "trim", n_servers=2, n_responses_per_server=20, deadline=5.0
+        )
+        result = run_web_service(params)
+        assert len(result.all_times) == 40
+        assert 0 <= result.fraction_under_threshold <= 1.0
+        assert result.p99 >= 0
+
+
+class TestWorkloadFigures:
+    def test_characterize_roundtrip(self):
+        wl = characterize_workload(seed=3, duration=2.0)
+        assert len(wl.trains) > 100
+        assert len(wl.gaps) == len(wl.trains) - 1
+        assert sum(t.n_packets for t in wl.trains) == len(wl.packet_times)
+
+    def test_fractions_near_anchors(self):
+        wl = characterize_workload(seed=4, duration=20.0)
+        assert wl.size_fraction_below(4096) == pytest.approx(0.20, abs=0.04)
+        assert wl.size_fraction_below(131072) == pytest.approx(0.90, abs=0.04)

@@ -1,0 +1,128 @@
+"""Unit tests for the shared experiment plumbing."""
+
+import pytest
+
+from repro.core.trim import TrimSource
+from repro.experiments.scenarios import (
+    ConnectionSet,
+    WARM_SSTHRESH,
+    dctcp_threshold_pkts,
+    ecn_threshold_for,
+    packets_per_second,
+    path_base_rtt,
+    run_until,
+    warm_config,
+)
+from repro.net.topology import build_star
+from repro.sim.kernel import Simulator
+from repro.tcp.base import TcpConfig
+
+
+class TestConversions:
+    def test_packets_per_second(self):
+        assert packets_per_second(1e9) == pytest.approx(1e9 / (8 * 1460))
+
+    def test_packets_per_second_validation(self):
+        with pytest.raises(ValueError):
+            packets_per_second(0.0)
+
+    def test_dctcp_threshold_matches_paper_anchors(self):
+        # The DCTCP paper's empirical K: 20 pkts at 1 Gbps, 65 at 10 Gbps.
+        assert dctcp_threshold_pkts(1e9) == 20
+        assert dctcp_threshold_pkts(10e9) == 65
+        assert dctcp_threshold_pkts(1e7) == 5  # floor
+
+    def test_dctcp_threshold_monotone(self):
+        rates = (1e8, 1e9, 5e9, 10e9, 40e9)
+        thresholds = [dctcp_threshold_pkts(r) for r in rates]
+        assert thresholds == sorted(thresholds)
+
+    def test_ecn_threshold_only_for_ecn_protocols(self):
+        assert ecn_threshold_for("dctcp", 1e9) == 20
+        assert ecn_threshold_for("l2dct", 1e9) == 20
+        assert ecn_threshold_for("reno", 1e9) is None
+        assert ecn_threshold_for("trim", 1e9) is None
+
+    def test_path_base_rtt(self):
+        rtt = path_base_rtt([(50e-6, 1e9), (50e-6, 1e9)])
+        forward = 2 * (50e-6 + 1460 * 8 / 1e9)
+        reverse = 2 * (50e-6 + 40 * 8 / 1e9)
+        assert rtt == pytest.approx(forward + reverse)
+
+    def test_path_base_rtt_needs_links(self):
+        with pytest.raises(ValueError):
+            path_base_rtt([])
+
+
+class TestWarmConfig:
+    def test_overrides_ssthresh_only(self):
+        base = TcpConfig(min_rto=0.05)
+        warm = warm_config(base)
+        assert warm.initial_ssthresh == WARM_SSTHRESH
+        assert warm.min_rto == 0.05
+        assert base.initial_ssthresh != WARM_SSTHRESH  # original untouched
+
+
+class TestConnectionSet:
+    def _star(self):
+        sim = Simulator()
+        star = build_star(sim, 3)
+        return sim, star
+
+    def test_flow_ids_unique(self):
+        sim, star = self._star()
+        conns = ConnectionSet(sim, "reno")
+        conns.connect_many(star.servers, star.frontend)
+        ids = [s.flow_id for s in conns.sources]
+        assert len(set(ids)) == 3
+
+    def test_trim_gets_capacity_and_base_rtt(self):
+        sim, star = self._star()
+        conns = ConnectionSet(
+            sim, "trim", capacity_pps=85616.0, base_rtt=2e-4
+        )
+        source, _sink = conns.connect(star.servers[0], star.frontend)
+        assert isinstance(source, TrimSource)
+        assert source.capacity_pps == 85616.0
+        assert source.base_rtt == 2e-4
+        assert source.k is not None
+
+    def test_per_connection_config_override(self):
+        sim, star = self._star()
+        base = TcpConfig(min_rto=0.2)
+        conns = ConnectionSet(sim, "reno", config=base)
+        special = TcpConfig(min_rto=0.01)
+        source, _ = conns.connect(star.servers[0], star.frontend, config=special)
+        other, _ = conns.connect(star.servers[1], star.frontend)
+        assert source.config.min_rto == 0.01
+        assert other.config.min_rto == 0.2
+
+    def test_timeout_aggregation(self):
+        sim, star = self._star()
+        conns = ConnectionSet(sim, "reno")
+        conns.connect_many(star.servers, star.frontend)
+        conns.sources[0].stats.timeouts = 2
+        conns.sources[2].stats.timeouts = 1
+        assert conns.total_timeouts == 3
+        assert conns.timeouts_per_source == [2, 0, 1]
+
+
+class TestRunUntil:
+    def test_stops_when_predicate_true(self):
+        sim = Simulator()
+        flag = []
+        sim.schedule(0.3, lambda: flag.append(1))
+        assert run_until(sim, lambda: bool(flag), deadline=1.0, step=0.1)
+        assert sim.now < 1.0
+
+    def test_returns_false_at_deadline(self):
+        sim = Simulator()
+        assert not run_until(sim, lambda: False, deadline=0.5, step=0.1)
+        assert sim.now == pytest.approx(0.5)
+
+    def test_rejects_past_deadline(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        with pytest.raises(ValueError):
+            run_until(sim, lambda: True, deadline=0.5)

@@ -1,0 +1,101 @@
+"""Unit and property tests for packet-train extraction (Sec. II.A)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.http.packet_train import (
+    LPT_THRESHOLD_BYTES,
+    PacketTrain,
+    extract_trains,
+    train_intervals,
+)
+
+
+class TestExtractTrains:
+    def test_empty_log(self):
+        assert extract_trains([], [], gap=1e-3) == []
+
+    def test_single_packet_is_one_train(self):
+        trains = extract_trains([1.0], [100], gap=1e-3)
+        assert len(trains) == 1
+        assert trains[0].n_packets == 1
+        assert trains[0].total_bytes == 100
+        assert trains[0].duration == 0.0
+
+    def test_splits_at_gap(self):
+        times = [0.0, 0.001, 0.010, 0.011]
+        sizes = [100] * 4
+        trains = extract_trains(times, sizes, gap=0.005)
+        assert len(trains) == 2
+        assert [t.n_packets for t in trains] == [2, 2]
+
+    def test_gap_exactly_at_threshold_keeps_train(self):
+        trains = extract_trains([0.0, 0.005], [1, 1], gap=0.005)
+        assert len(trains) == 1  # interval must *exceed* the gap
+
+    def test_train_boundaries(self):
+        trains = extract_trains([0.0, 0.001, 0.1], [10, 20, 30], gap=0.01)
+        assert trains[0].start_time == 0.0
+        assert trains[0].end_time == 0.001
+        assert trains[1].start_time == 0.1
+
+    def test_non_monotonic_times_rejected(self):
+        with pytest.raises(ValueError):
+            extract_trains([1.0, 0.5], [1, 1], gap=0.01)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            extract_trains([1.0], [1, 2], gap=0.01)
+
+    def test_non_positive_gap_rejected(self):
+        with pytest.raises(ValueError):
+            extract_trains([1.0], [1], gap=0.0)
+
+
+class TestClassification:
+    def test_lpt_threshold(self):
+        small = PacketTrain(0.0, 1.0, 10, LPT_THRESHOLD_BYTES - 1)
+        large = PacketTrain(0.0, 1.0, 100, LPT_THRESHOLD_BYTES)
+        assert not small.is_long
+        assert large.is_long
+
+
+class TestTrainIntervals:
+    def test_intervals_between_trains(self):
+        trains = [
+            PacketTrain(0.0, 0.001, 2, 100),
+            PacketTrain(0.01, 0.011, 2, 100),
+            PacketTrain(0.05, 0.05, 1, 50),
+        ]
+        gaps = train_intervals(trains)
+        assert gaps == pytest.approx([0.009, 0.039])
+
+    def test_single_train_no_intervals(self):
+        assert train_intervals([PacketTrain(0.0, 0.0, 1, 1)]) == []
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.floats(min_value=0.0, max_value=1.0),
+            st.integers(min_value=1, max_value=2000),
+        ),
+        min_size=1,
+        max_size=100,
+    ),
+    st.floats(min_value=1e-4, max_value=0.5),
+)
+def test_property_conservation_and_structure(packets, gap):
+    """Extraction preserves packet and byte totals; trains are ordered,
+    non-overlapping, and internally gap-consistent."""
+    packets.sort(key=lambda p: p[0])
+    times = [t for t, _ in packets]
+    sizes = [s for _, s in packets]
+    trains = extract_trains(times, sizes, gap=gap)
+
+    assert sum(t.n_packets for t in trains) == len(packets)
+    assert sum(t.total_bytes for t in trains) == sum(sizes)
+    for train in trains:
+        assert train.end_time >= train.start_time
+    for a, b in zip(trains, trains[1:]):
+        assert b.start_time - a.end_time > gap

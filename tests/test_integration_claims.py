@@ -1,0 +1,148 @@
+"""Integration tests asserting the paper's headline claims at small scale.
+
+These are the behavioural contracts the reproduction stands on: if one
+of these fails, a figure will not have the published shape.
+"""
+
+import pytest
+
+from repro.experiments.concurrency import ConcurrencyParams, run_concurrency
+from repro.experiments.motivation import MotivationParams, run_motivation
+from repro.experiments.properties import PropertiesParams, run_properties_case
+from tests.helpers import FAST, make_pair
+from repro.tcp.base import TcpConfig
+
+
+def motivation(protocol):
+    return run_motivation(
+        MotivationParams.quick(protocol, n_responses=100, lpt_bytes=1_000_000)
+    )
+
+
+class TestWindowInheritanceClaim:
+    """Section II.B.1: blind inheritance causes timeouts; TRIM avoids them."""
+
+    def test_reno_inherits_large_windows(self):
+        result = motivation("reno")
+        assert max(result.inherited_cwnd) > 200
+
+    def test_reno_suffers_timeouts_and_drops(self):
+        result = motivation("reno")
+        assert result.total_timeouts >= 4
+        assert result.dropped_packets > 100
+
+    def test_trim_avoids_timeouts_entirely(self):
+        result = motivation("trim")
+        assert result.total_timeouts == 0
+        assert result.dropped_packets == 0
+
+    def test_trim_keeps_queue_small(self):
+        """Fig. 6: the queue never exceeds ~20 packets."""
+        result = motivation("trim")
+        assert result.peak_queue_pkts <= 25
+
+    def test_trim_finishes_faster(self):
+        reno = motivation("reno")
+        trim = motivation("trim")
+        assert trim.all_done_time < reno.all_done_time
+
+    def test_gip_restart_avoids_the_inherited_window_dump(self):
+        """GIP's restart-at-2 removes the inherited burst (its design
+        goal) even though its slow-start ramp can still overshoot — the
+        paper's criticism is that it trades window for safety."""
+        gip = motivation("gip")
+        reno = motivation("reno")
+        assert max(gip.inherited_cwnd) < 20  # vs. hundreds for Reno
+        assert gip.total_timeouts <= reno.total_timeouts
+        assert gip.all_done_time <= reno.all_done_time
+
+
+class TestConcurrencyClaim:
+    """Fig. 5 vs Fig. 7: TRIM's SPT ACT stays orders of magnitude lower."""
+
+    @pytest.fixture(scope="class")
+    def cases(self):
+        out = {}
+        for protocol in ("reno", "trim"):
+            params = ConcurrencyParams.quick(protocol, deadline=3.0)
+            out[protocol] = run_concurrency(params, n_spts=8)
+        return out
+
+    def test_reno_act_inflated_by_timeouts(self, cases):
+        assert cases["reno"].act > 0.05  # dominated by 200 ms RTOs
+
+    def test_trim_act_a_few_milliseconds(self, cases):
+        assert cases["trim"].act < 0.01
+
+    def test_trim_no_spt_timeouts(self, cases):
+        assert cases["trim"].spt_timeouts == 0
+        assert cases["reno"].spt_timeouts > 0
+
+    def test_improvement_factor_order_of_magnitude(self, cases):
+        assert cases["reno"].act / cases["trim"].act > 10
+
+
+class TestQueueControlClaim:
+    """Fig. 9: TRIM keeps a small, loss-free queue at high utilization."""
+
+    @pytest.fixture(scope="class")
+    def cases(self):
+        out = {}
+        for protocol in ("reno", "trim"):
+            params = PropertiesParams.quick(protocol, end_time=0.5)
+            out[protocol] = run_properties_case(params, n_trains=5)
+        return out
+
+    def test_trim_queue_much_smaller(self, cases):
+        assert cases["trim"].average_queue_pkts < cases["reno"].average_queue_pkts / 2
+
+    def test_trim_no_drops(self, cases):
+        assert cases["trim"].dropped_packets == 0
+        assert cases["reno"].dropped_packets > 0
+
+    def test_both_keep_high_utilization(self, cases):
+        assert cases["trim"].utilization > 0.9
+        assert cases["reno"].utilization > 0.8
+
+    def test_trim_no_timeouts(self, cases):
+        assert cases["trim"].timeouts == 0
+
+
+class TestDelayVsEcnClaim:
+    """TRIM needs no switch support; DCTCP does (Section V)."""
+
+    def test_trim_controls_queue_on_plain_droptail(self):
+        config = TcpConfig(**FAST)
+        sim, star, source, _sink = make_pair(
+            "trim",
+            config=config,
+            frontend_bandwidth=200e6,
+            capacity_pps=200e6 / (8 * 1460),
+        )
+        source.send_message(20000)
+        peak = {"v": 0}
+
+        def probe():
+            peak["v"] = max(peak["v"], star.bottleneck.backlog_pkts)
+            if sim.now < 0.3:
+                sim.schedule(1e-4, probe)
+
+        sim.schedule_at(0.05, probe)
+        sim.run(until=0.3)
+        assert peak["v"] < 40
+
+    def test_reno_fills_droptail_queue(self):
+        sim, star, source, _sink = make_pair(
+            "reno", config=TcpConfig(**FAST), frontend_bandwidth=200e6
+        )
+        source.send_message(20000)
+        peak = {"v": 0}
+
+        def probe():
+            peak["v"] = max(peak["v"], star.bottleneck.backlog_pkts)
+            if sim.now < 0.3:
+                sim.schedule(1e-4, probe)
+
+        sim.schedule_at(0.05, probe)
+        sim.run(until=0.3)
+        assert peak["v"] >= 99  # saw-tooth touches the buffer ceiling

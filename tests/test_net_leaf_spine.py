@@ -1,0 +1,96 @@
+"""Tests for the leaf-spine topology."""
+
+import pytest
+
+from repro.net.packet import DATA, Packet
+from repro.net.topology import build_leaf_spine
+from repro.sim.kernel import Simulator
+from repro.tcp.base import TcpConfig, TcpSink
+from repro.tcp.factory import create_source
+from tests.helpers import FAST
+
+
+class StubAgent:
+    def __init__(self):
+        self.received = []
+
+    def receive_packet(self, pkt):
+        self.received.append(pkt)
+
+
+class TestStructure:
+    def test_counts(self):
+        ls = build_leaf_spine(Simulator(), n_leaves=4, n_spines=2, hosts_per_leaf=3)
+        assert len(ls.leaves) == 4
+        assert len(ls.spines) == 2
+        assert len(ls.hosts) == 12
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            build_leaf_spine(Simulator(), 0, 2, 3)
+        with pytest.raises(ValueError):
+            build_leaf_spine(Simulator(), 2, 0, 3)
+        with pytest.raises(ValueError):
+            build_leaf_spine(Simulator(), 2, 2, 0)
+
+
+class TestRouting:
+    def _deliver(self, sim, src, dst, flow_id):
+        agent = StubAgent()
+        dst.attach_agent(flow_id, agent)
+        src.send(Packet(flow_id=flow_id, src=src.node_id, dst=dst.node_id,
+                        kind=DATA, seq=0))
+        sim.run()
+        return agent.received
+
+    def test_intra_leaf_two_hops(self):
+        sim = Simulator()
+        ls = build_leaf_spine(sim, 2, 2, 2)
+        received = self._deliver(sim, ls.host_groups[0][0], ls.host_groups[0][1], 1)
+        assert received[0].hops == 2  # host -> leaf -> host
+
+    def test_cross_leaf_four_hops(self):
+        sim = Simulator()
+        ls = build_leaf_spine(sim, 2, 2, 2)
+        received = self._deliver(sim, ls.host_groups[0][0], ls.host_groups[1][0], 1)
+        assert received[0].hops == 4  # host -> leaf -> spine -> leaf -> host
+
+    def test_ecmp_across_all_spines(self):
+        ls = build_leaf_spine(Simulator(), 2, 4, 1)
+        leaf = ls.leaves[0]
+        remote_host = ls.host_groups[1][0]
+        assert len(leaf.routes[remote_host.node_id]) == 4
+
+    def test_tcp_flow_end_to_end(self):
+        sim = Simulator()
+        ls = build_leaf_spine(sim, 2, 2, 2, host_bandwidth_bps=1e9,
+                              fabric_bandwidth_bps=1e9)
+        source = create_source(
+            "reno", sim, ls.host_groups[0][0], flow_id=1,
+            dst_id=ls.host_groups[1][1].node_id, config=TcpConfig(**FAST),
+        )
+        sink = TcpSink(sim, ls.host_groups[1][1], flow_id=1)
+        source.send_message(200)
+        sim.run(until=1.0)
+        assert sink.next_expected == 200
+
+    def test_incast_across_fabric(self):
+        """Many-to-one across leaves: the receiver's leaf egress is the
+        bottleneck, and every flow completes."""
+        sim = Simulator()
+        ls = build_leaf_spine(sim, 3, 2, 4, host_bandwidth_bps=1e9,
+                              fabric_bandwidth_bps=2e9, buffer_pkts=64)
+        target = ls.host_groups[0][0]
+        messages = []
+        flow = 10
+        for group in ls.host_groups[1:]:
+            for host in group:
+                src = create_source(
+                    "reno", sim, host, flow_id=flow,
+                    dst_id=target.node_id, config=TcpConfig(**FAST),
+                )
+                TcpSink(sim, target, flow_id=flow)
+                messages.append(src.send_message(50))
+                flow += 1
+        sim.run(until=2.0)
+        assert all(m.finish_time is not None for m in messages)

@@ -1,0 +1,125 @@
+"""Unit tests for link serialization and delivery timing."""
+
+import pytest
+
+from repro.net.link import Link
+from repro.net.node import Node
+from repro.net.packet import DATA, Packet
+from repro.net.queues import DropTailQueue
+from repro.sim.kernel import Simulator
+
+
+class RecordingNode(Node):
+    """Endpoint that logs (time, packet) arrivals."""
+
+    def __init__(self, sim, node_id):
+        super().__init__(sim, node_id, f"n{node_id}")
+        self.received = []
+
+    def receive(self, pkt):
+        self.received.append((self.sim.now, pkt))
+
+
+def make_link(sim, bandwidth=8e6, delay=0.001, capacity=4):
+    src = RecordingNode(sim, 0)
+    dst = RecordingNode(sim, 1)
+    link = Link(sim, src, dst, bandwidth, delay, DropTailQueue(capacity))
+    src.attach_link(link)
+    return src, dst, link
+
+
+def pkt(size=1000, seq=0):
+    return Packet(flow_id=1, src=0, dst=1, kind=DATA, seq=seq, size_bytes=size)
+
+
+class TestLinkTiming:
+    def test_delivery_time_is_tx_plus_propagation(self):
+        sim = Simulator()
+        _, dst, link = make_link(sim, bandwidth=8e6, delay=0.001)
+        link.send(pkt(size=1000))  # 8000 bits / 8e6 bps = 1 ms tx
+        sim.run()
+        assert dst.received[0][0] == pytest.approx(0.002)
+
+    def test_tx_time_helper(self):
+        sim = Simulator()
+        _, _, link = make_link(sim, bandwidth=1e6)
+        assert link.tx_time(pkt(size=1250)) == pytest.approx(0.01)
+
+    def test_back_to_back_packets_serialize(self):
+        sim = Simulator()
+        _, dst, link = make_link(sim, bandwidth=8e6, delay=0.0)
+        link.send(pkt(size=1000, seq=0))
+        link.send(pkt(size=1000, seq=1))
+        sim.run()
+        times = [t for t, _ in dst.received]
+        assert times == pytest.approx([0.001, 0.002])
+
+    def test_fifo_delivery_order(self):
+        sim = Simulator()
+        _, dst, link = make_link(sim)
+        for i in range(3):
+            link.send(pkt(seq=i))
+        sim.run()
+        assert [p.seq for _, p in dst.received] == [0, 1, 2]
+
+    def test_busy_flag_and_backlog(self):
+        sim = Simulator()
+        _, _, link = make_link(sim, bandwidth=8e3)  # slow: 1s per packet
+        link.send(pkt())
+        link.send(pkt())
+        assert link.busy
+        assert link.backlog_pkts == 1
+
+    def test_queue_overflow_drops(self):
+        sim = Simulator()
+        _, dst, link = make_link(sim, bandwidth=8e3, capacity=2)
+        for i in range(5):  # 1 in service + 2 queued + 2 dropped
+            link.send(pkt(seq=i))
+        sim.run()
+        assert len(dst.received) == 3
+        assert link.queue.stats.dropped == 2
+
+    def test_stats_accumulate(self):
+        sim = Simulator()
+        _, _, link = make_link(sim)
+        link.send(pkt(size=500))
+        link.send(pkt(size=700))
+        sim.run()
+        assert link.stats.tx_packets == 2
+        assert link.stats.tx_bytes == 1200
+        assert link.stats.busy_time == pytest.approx((500 + 700) * 8 / 8e6)
+
+    def test_on_deliver_hook_and_hop_count(self):
+        sim = Simulator()
+        _, dst, link = make_link(sim)
+        seen = []
+        link.on_deliver = seen.append
+        link.send(pkt())
+        sim.run()
+        assert len(seen) == 1
+        assert seen[0].hops == 1
+
+    def test_idle_after_drain(self):
+        sim = Simulator()
+        _, _, link = make_link(sim)
+        link.send(pkt())
+        sim.run()
+        assert not link.busy
+        assert link.backlog_pkts == 0
+
+    def test_validation(self):
+        sim = Simulator()
+        src = RecordingNode(sim, 0)
+        dst = RecordingNode(sim, 1)
+        with pytest.raises(ValueError):
+            Link(sim, src, dst, 0.0, 0.001, DropTailQueue(1))
+        with pytest.raises(ValueError):
+            Link(sim, src, dst, 1e6, -0.1, DropTailQueue(1))
+
+    def test_attach_link_requires_matching_source(self):
+        sim = Simulator()
+        src = RecordingNode(sim, 0)
+        dst = RecordingNode(sim, 1)
+        link = Link(sim, src, dst, 1e6, 0.0, DropTailQueue(1))
+        with pytest.raises(ValueError):
+            dst.attach_link(link)

@@ -1,0 +1,136 @@
+"""Unit tests for hosts, switches, and ECMP selection."""
+
+import pytest
+
+from repro.net.link import Link
+from repro.net.node import Host, Switch, _flow_hash
+from repro.net.packet import ACK, DATA, Packet
+from repro.net.queues import DropTailQueue
+from repro.sim.kernel import Simulator
+
+
+class StubAgent:
+    def __init__(self):
+        self.received = []
+
+    def receive_packet(self, pkt):
+        self.received.append(pkt)
+
+
+def wire(sim, a, b, bandwidth=1e9, delay=1e-6):
+    link = Link(sim, a, b, bandwidth, delay, DropTailQueue(100))
+    a.attach_link(link)
+    return link
+
+
+class TestHost:
+    def test_demux_by_flow_id(self):
+        sim = Simulator()
+        host = Host(sim, 1)
+        agent_a, agent_b = StubAgent(), StubAgent()
+        host.attach_agent(1, agent_a)
+        host.attach_agent(2, agent_b)
+        host.receive(Packet(flow_id=2, src=0, dst=1, kind=DATA, seq=0))
+        assert not agent_a.received
+        assert len(agent_b.received) == 1
+
+    def test_duplicate_flow_attachment_rejected(self):
+        host = Host(Simulator(), 1)
+        host.attach_agent(1, StubAgent())
+        with pytest.raises(ValueError):
+            host.attach_agent(1, StubAgent())
+
+    def test_wrong_destination_raises(self):
+        host = Host(Simulator(), 1)
+        with pytest.raises(RuntimeError):
+            host.receive(Packet(flow_id=1, src=0, dst=99, kind=DATA, seq=0))
+
+    def test_unknown_flow_raises(self):
+        host = Host(Simulator(), 1)
+        with pytest.raises(RuntimeError):
+            host.receive(Packet(flow_id=7, src=0, dst=1, kind=DATA, seq=0))
+
+    def test_nic_requires_exactly_one_link(self):
+        sim = Simulator()
+        host = Host(sim, 1)
+        with pytest.raises(ValueError):
+            host.nic
+        other = Host(sim, 2)
+        wire(sim, host, other)
+        assert host.nic.dst_node is other
+
+    def test_agent_for(self):
+        host = Host(Simulator(), 1)
+        agent = StubAgent()
+        host.attach_agent(3, agent)
+        assert host.agent_for(3) is agent
+        assert host.agent_for(4) is None
+
+
+class TestSwitch:
+    def test_forwards_on_destination(self):
+        sim = Simulator()
+        switch = Switch(sim, 0)
+        host = Host(sim, 1)
+        host.attach_agent(1, StubAgent())
+        wire(sim, switch, host)
+        switch.set_route(1, (1,))
+        switch.receive(Packet(flow_id=1, src=9, dst=1, kind=DATA, seq=0))
+        sim.run()
+        assert len(host.agent_for(1).received) == 1
+
+    def test_missing_route_raises(self):
+        switch = Switch(Simulator(), 0)
+        with pytest.raises(RuntimeError):
+            switch.receive(Packet(flow_id=1, src=9, dst=1, kind=DATA, seq=0))
+
+    def test_route_validation(self):
+        switch = Switch(Simulator(), 0)
+        with pytest.raises(ValueError):
+            switch.set_route(1, ())
+        with pytest.raises(ValueError):
+            switch.set_route(1, (42,))  # no egress to 42
+
+
+class TestEcmp:
+    def _switch_with_two_paths(self, sim):
+        switch = Switch(sim, 0)
+        left, right = Switch(sim, 1), Switch(sim, 2)
+        wire(sim, switch, left)
+        wire(sim, switch, right)
+        switch.set_route(9, (1, 2))
+        return switch
+
+    def test_same_flow_always_same_path(self):
+        sim = Simulator()
+        switch = self._switch_with_two_paths(sim)
+        chosen = set()
+        for _ in range(5):
+            hop = (1, 2)[_flow_hash(77) % 2]
+            chosen.add(hop)
+        assert len(chosen) == 1
+
+    def test_flows_spread_across_paths(self):
+        picks = {(_flow_hash(f) % 2) for f in range(64)}
+        assert picks == {0, 1}
+
+    def test_hash_is_deterministic(self):
+        assert _flow_hash(123) == _flow_hash(123)
+
+    def test_hash_spreads_consecutive_ids(self):
+        buckets = [0, 0]
+        for f in range(1000):
+            buckets[_flow_hash(f) % 2] += 1
+        # Roughly balanced: no bucket under 35%.
+        assert min(buckets) > 350
+
+    def test_single_path_route_skips_hashing(self):
+        sim = Simulator()
+        switch = Switch(sim, 0)
+        host = Host(sim, 5)
+        host.attach_agent(8, StubAgent())
+        wire(sim, switch, host)
+        switch.set_route(5, (5,))
+        switch.receive(Packet(flow_id=8, src=0, dst=5, kind=ACK, ack=1))
+        sim.run()
+        assert len(host.agent_for(8).received) == 1

@@ -1,0 +1,128 @@
+"""Unit tests for drop-tail and ECN queues."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.net.packet import DATA, Packet
+from repro.net.queues import DropTailQueue, EcnQueue
+
+
+def pkt(ecn=False, seq=0):
+    return Packet(flow_id=1, src=0, dst=1, kind=DATA, seq=seq, ecn_capable=ecn)
+
+
+class TestDropTailQueue:
+    def test_fifo_order(self):
+        q = DropTailQueue(10)
+        first, second = pkt(seq=1), pkt(seq=2)
+        q.enqueue(first)
+        q.enqueue(second)
+        assert q.dequeue() is first
+        assert q.dequeue() is second
+
+    def test_dequeue_empty_returns_none(self):
+        assert DropTailQueue(1).dequeue() is None
+
+    def test_drops_when_full(self):
+        q = DropTailQueue(2)
+        assert q.enqueue(pkt())
+        assert q.enqueue(pkt())
+        assert not q.enqueue(pkt())
+        assert q.stats.dropped == 1
+        assert len(q) == 2
+
+    def test_drop_callback(self):
+        q = DropTailQueue(1)
+        dropped = []
+        q.on_drop = dropped.append
+        q.enqueue(pkt(seq=1))
+        victim = pkt(seq=2)
+        q.enqueue(victim)
+        assert dropped == [victim]
+
+    def test_peak_length_tracked(self):
+        q = DropTailQueue(5)
+        for i in range(3):
+            q.enqueue(pkt(seq=i))
+        q.dequeue()
+        assert q.stats.peak_length == 3
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            DropTailQueue(0)
+
+    def test_counters(self):
+        q = DropTailQueue(2)
+        q.enqueue(pkt())
+        q.enqueue(pkt())
+        q.enqueue(pkt())  # dropped
+        q.dequeue()
+        assert q.stats.enqueued == 2
+        assert q.stats.dequeued == 1
+        assert q.stats.dropped == 1
+
+
+class TestEcnQueue:
+    def test_marks_at_threshold(self):
+        q = EcnQueue(10, mark_threshold_pkts=2)
+        a, b, c = pkt(ecn=True, seq=1), pkt(ecn=True, seq=2), pkt(ecn=True, seq=3)
+        q.enqueue(a)
+        q.enqueue(b)
+        q.enqueue(c)  # queue already holds 2 >= threshold
+        assert not a.ecn_ce
+        assert not b.ecn_ce
+        assert c.ecn_ce
+        assert q.stats.marked == 1
+
+    def test_non_ect_packets_never_marked(self):
+        q = EcnQueue(10, mark_threshold_pkts=1)
+        q.enqueue(pkt(ecn=False, seq=1))
+        victim = pkt(ecn=False, seq=2)
+        q.enqueue(victim)
+        assert not victim.ecn_ce
+        assert q.stats.marked == 0
+
+    def test_still_drops_at_capacity(self):
+        q = EcnQueue(2, mark_threshold_pkts=1)
+        q.enqueue(pkt(ecn=True))
+        q.enqueue(pkt(ecn=True))
+        assert not q.enqueue(pkt(ecn=True))
+        assert q.stats.dropped == 1
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            EcnQueue(10, mark_threshold_pkts=0)
+        with pytest.raises(ValueError):
+            EcnQueue(10, mark_threshold_pkts=11)
+
+    def test_threshold_equal_capacity_allowed(self):
+        EcnQueue(10, mark_threshold_pkts=10)
+
+    def test_marking_stops_when_queue_drains(self):
+        q = EcnQueue(10, mark_threshold_pkts=2)
+        for i in range(3):
+            q.enqueue(pkt(ecn=True, seq=i))
+        q.dequeue()
+        q.dequeue()
+        fresh = pkt(ecn=True, seq=9)
+        q.enqueue(fresh)  # length 1 < threshold
+        assert not fresh.ecn_ce
+
+
+@given(
+    capacity=st.integers(min_value=1, max_value=20),
+    ops=st.lists(st.sampled_from(["enq", "deq"]), max_size=200),
+)
+def test_property_packet_conservation(capacity, ops):
+    """enqueued == dequeued + dropped + still-queued, and length bounded."""
+    q = DropTailQueue(capacity)
+    offered = dequeued = 0
+    for op in ops:
+        if op == "enq":
+            q.enqueue(pkt(seq=offered))
+            offered += 1
+        elif q.dequeue() is not None:
+            dequeued += 1
+        assert len(q) <= capacity
+    assert offered == dequeued + q.stats.dropped + len(q)
+    assert q.stats.dequeued == dequeued

@@ -1,0 +1,95 @@
+"""Property tests for routing: agreement with networkx shortest paths.
+
+Random two-tier topologies (a connected random switch mesh with hosts
+hanging off random switches) are routed by ``build_routing_tables`` and
+cross-checked against networkx: every host pair must be reachable, and
+the delivered hop count must equal the graph-theoretic shortest path.
+"""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.net.node import Host
+from repro.net.packet import DATA, Packet
+from repro.net.topology import Network
+from repro.sim.kernel import Simulator
+
+
+class CollectingAgent:
+    def __init__(self):
+        self.packets = []
+
+    def receive_packet(self, pkt):
+        self.packets.append(pkt)
+
+
+def random_topology(seed):
+    """A connected random switch mesh with one host per switch."""
+    rng = np.random.default_rng(seed)
+    n_switches = int(rng.integers(2, 8))
+    mesh = nx.gnp_random_graph(n_switches, 0.5, seed=int(seed))
+    # Ensure connectivity by chaining the components.
+    components = [list(c) for c in nx.connected_components(mesh)]
+    for a, b in zip(components, components[1:]):
+        mesh.add_edge(a[0], b[0])
+
+    sim = Simulator()
+    net = Network(sim)
+    switches = [net.add_switch(f"s{i}") for i in range(n_switches)]
+    hosts = []
+    graph = nx.Graph()
+    for u, v in mesh.edges:
+        net.connect(switches[u], switches[v], 1e9, 1e-6)
+        graph.add_edge(f"s{u}", f"s{v}")
+    for i, switch in enumerate(switches):
+        host = net.add_host(f"h{i}")
+        net.connect(host, switch, 1e9, 1e-6)
+        graph.add_edge(f"h{i}", f"s{i}")
+        hosts.append(host)
+    net.finalize_routes()
+    return sim, net, hosts, graph
+
+
+@pytest.mark.parametrize("seed", range(12))
+def test_all_pairs_hop_counts_match_networkx(seed):
+    sim, _net, hosts, graph = random_topology(seed)
+    agents = {}
+    flow = 0
+    expectations = []
+    for src in hosts:
+        for dst in hosts:
+            if src is dst:
+                continue
+            flow += 1
+            agent = CollectingAgent()
+            dst.attach_agent(flow, agent)
+            src.send(Packet(flow_id=flow, src=src.node_id,
+                            dst=dst.node_id, kind=DATA, seq=0))
+            agents[flow] = agent
+            expectations.append(
+                (flow, nx.shortest_path_length(graph, src.name, dst.name))
+            )
+    sim.run()
+    for flow, expected_hops in expectations:
+        packets = agents[flow].packets
+        assert len(packets) == 1, f"flow {flow} not delivered exactly once"
+        assert packets[0].hops == expected_hops
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_routes_only_point_one_hop_closer(seed):
+    """Next hops in every table are strictly closer to the destination."""
+    _sim, net, hosts, graph = random_topology(seed)
+    from repro.net.node import Switch
+
+    for node in net.nodes:
+        if not isinstance(node, Switch):
+            continue
+        for dst_id, next_hops in node.routes.items():
+            dst = next(n for n in net.nodes if n.node_id == dst_id)
+            here = nx.shortest_path_length(graph, node.name, dst.name)
+            for hop_id in next_hops:
+                hop = next(n for n in net.nodes if n.node_id == hop_id)
+                there = nx.shortest_path_length(graph, hop.name, dst.name)
+                assert there == here - 1

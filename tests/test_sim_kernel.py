@@ -1,0 +1,240 @@
+"""Unit tests for the discrete-event kernel."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim.kernel import SimulationError, Simulator
+
+
+class TestScheduling:
+    def test_initial_time_is_zero(self):
+        assert Simulator().now == 0.0
+
+    def test_schedule_runs_callback_at_time(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(1.5, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [1.5]
+
+    def test_schedule_at_absolute_time(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule_at(2.0, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [2.0]
+
+    def test_callback_args_are_passed(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(0.1, seen.append, 42)
+        sim.run()
+        assert seen == [42]
+
+    def test_events_run_in_time_order(self):
+        sim = Simulator()
+        seen = []
+        for t in (3.0, 1.0, 2.0):
+            sim.schedule(t, seen.append, t)
+        sim.run()
+        assert seen == [1.0, 2.0, 3.0]
+
+    def test_ties_break_by_scheduling_order(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(1.0, seen.append, "first")
+        sim.schedule(1.0, seen.append, "second")
+        sim.run()
+        assert seen == ["first", "second"]
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            Simulator().schedule(-0.1, lambda: None)
+
+    def test_nan_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            Simulator().schedule(float("nan"), lambda: None)
+
+    def test_schedule_at_past_rejected(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.schedule_at(0.5, lambda: None)
+
+    def test_zero_delay_allowed(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(0.0, seen.append, 1)
+        sim.run()
+        assert seen == [1]
+
+    def test_events_scheduled_during_run_execute(self):
+        sim = Simulator()
+        seen = []
+
+        def outer():
+            sim.schedule(0.5, seen.append, "inner")
+
+        sim.schedule(1.0, outer)
+        sim.run()
+        assert seen == ["inner"]
+        assert sim.now == 1.5
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        sim = Simulator()
+        seen = []
+        event = sim.schedule(1.0, seen.append, "x")
+        event.cancel()
+        sim.run()
+        assert seen == []
+
+    def test_cancel_is_idempotent(self):
+        sim = Simulator()
+        event = sim.schedule(1.0, lambda: None)
+        event.cancel()
+        event.cancel()
+        sim.run()
+
+    def test_cancel_one_of_many(self):
+        sim = Simulator()
+        seen = []
+        keep = sim.schedule(1.0, seen.append, "keep")
+        drop = sim.schedule(2.0, seen.append, "drop")
+        drop.cancel()
+        sim.run()
+        assert seen == ["keep"]
+        assert not keep.cancelled
+
+
+class TestRun:
+    def test_run_until_stops_clock_at_horizon(self):
+        sim = Simulator()
+        sim.schedule(5.0, lambda: None)
+        sim.run(until=2.0)
+        assert sim.now == 2.0
+        assert sim.pending == 1
+
+    def test_run_until_executes_events_at_horizon(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(2.0, seen.append, "x")
+        sim.run(until=2.0)
+        assert seen == ["x"]
+
+    def test_run_resumes_after_horizon(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(5.0, seen.append, "late")
+        sim.run(until=2.0)
+        sim.run()
+        assert seen == ["late"]
+        assert sim.now == 5.0
+
+    def test_run_with_empty_heap_keeps_time(self):
+        sim = Simulator()
+        sim.run()
+        assert sim.now == 0.0
+
+    def test_run_until_advances_clock_without_events(self):
+        sim = Simulator()
+        sim.run(until=3.0)
+        assert sim.now == 3.0
+
+    def test_max_events_limits_execution(self):
+        sim = Simulator()
+        seen = []
+        for t in (1.0, 2.0, 3.0):
+            sim.schedule(t, seen.append, t)
+        sim.run(max_events=2)
+        assert seen == [1.0, 2.0]
+
+    def test_reentrant_run_rejected(self):
+        sim = Simulator()
+
+        def recurse():
+            sim.run()
+
+        sim.schedule(1.0, recurse)
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_events_executed_counter(self):
+        sim = Simulator()
+        for t in (1.0, 2.0):
+            sim.schedule(t, lambda: None)
+        sim.run()
+        assert sim.events_executed == 2
+
+
+class TestStepAndPeek:
+    def test_step_executes_single_event(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(1.0, seen.append, 1)
+        sim.schedule(2.0, seen.append, 2)
+        assert sim.step()
+        assert seen == [1]
+
+    def test_step_returns_false_when_empty(self):
+        assert not Simulator().step()
+
+    def test_step_skips_cancelled(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(1.0, seen.append, "cancelled").cancel()
+        sim.schedule(2.0, seen.append, "live")
+        assert sim.step()
+        assert seen == ["live"]
+
+    def test_peek_time(self):
+        sim = Simulator()
+        sim.schedule(3.0, lambda: None)
+        sim.schedule(1.0, lambda: None)
+        assert sim.peek_time() == 1.0
+
+    def test_peek_time_empty(self):
+        assert Simulator().peek_time() is None
+
+    def test_peek_skips_cancelled(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None).cancel()
+        sim.schedule(2.0, lambda: None)
+        assert sim.peek_time() == 2.0
+
+    def test_pending_counts_live_events(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None).cancel()
+        assert sim.pending == 1
+
+
+@given(st.lists(st.floats(min_value=0.0, max_value=1e6), min_size=1, max_size=60))
+def test_property_events_always_execute_in_sorted_order(delays):
+    sim = Simulator()
+    seen = []
+    for d in delays:
+        sim.schedule(d, lambda t=d: seen.append(t))
+    sim.run()
+    assert seen == sorted(delays)
+    assert sim.now == max(delays)
+
+
+@given(
+    st.lists(st.floats(min_value=0.0, max_value=100.0), min_size=1, max_size=40),
+    st.data(),
+)
+def test_property_cancelled_subset_never_fires(delays, data):
+    sim = Simulator()
+    seen = []
+    events = [sim.schedule(d, lambda t=d: seen.append(t)) for d in delays]
+    to_cancel = data.draw(
+        st.sets(st.integers(min_value=0, max_value=len(events) - 1))
+    )
+    for i in to_cancel:
+        events[i].cancel()
+    sim.run()
+    expected = sorted(d for i, d in enumerate(delays) if i not in to_cancel)
+    assert seen == expected

@@ -1,0 +1,45 @@
+"""Unit tests for seeded random streams."""
+
+from repro.sim.randomness import RandomStreams, _stable_hash
+
+
+class TestRandomStreams:
+    def test_same_name_returns_same_generator(self):
+        streams = RandomStreams(7)
+        assert streams.get("a") is streams.get("a")
+
+    def test_different_names_give_independent_draws(self):
+        streams = RandomStreams(7)
+        a = streams.get("a").random(100)
+        b = streams.get("b").random(100)
+        assert list(a) != list(b)
+
+    def test_reproducible_across_instances(self):
+        one = RandomStreams(42).get("workload").random(10)
+        two = RandomStreams(42).get("workload").random(10)
+        assert list(one) == list(two)
+
+    def test_different_seeds_differ(self):
+        one = RandomStreams(1).get("x").random(10)
+        two = RandomStreams(2).get("x").random(10)
+        assert list(one) != list(two)
+
+    def test_stream_independent_of_creation_order(self):
+        forward = RandomStreams(5)
+        forward.get("first")
+        a1 = forward.get("second").random(5)
+        backward = RandomStreams(5)
+        a2 = backward.get("second").random(5)
+        assert list(a1) == list(a2)
+
+
+class TestStableHash:
+    def test_deterministic(self):
+        assert _stable_hash("abc") == _stable_hash("abc")
+
+    def test_distinct_inputs_differ(self):
+        assert _stable_hash("abc") != _stable_hash("abd")
+
+    def test_fits_in_63_bits(self):
+        for name in ("", "a", "long-name" * 50):
+            assert 0 <= _stable_hash(name) < 2**63

@@ -1,0 +1,89 @@
+"""Tests for D²TCP (deadline-aware DCTCP)."""
+
+import pytest
+
+from repro.net.topology import build_star
+from repro.sim.kernel import Simulator
+from repro.tcp.base import TcpSink
+from repro.tcp.d2tcp import D2tcpSource
+from repro.tcp.factory import default_config, source_class
+from tests.helpers import FAST, make_pair
+
+
+def d2tcp_pair(deadline=None, **kwargs):
+    config = default_config("d2tcp", **FAST)
+    kwargs.setdefault("ecn_threshold", 17)
+    kwargs.setdefault("frontend_bandwidth", 500e6)
+    return make_pair("d2tcp", config=config, deadline=deadline, **kwargs)
+
+
+class TestRegistration:
+    def test_factory(self):
+        assert source_class("d2tcp") is D2tcpSource
+
+    def test_is_ecn_protocol(self):
+        from repro.tcp.factory import ECN_PROTOCOLS
+
+        assert "d2tcp" in ECN_PROTOCOLS
+
+    def test_deadline_validation(self):
+        with pytest.raises(ValueError):
+            d2tcp_pair(deadline=-1.0)
+
+
+class TestUrgency:
+    def test_no_deadline_behaves_like_dctcp(self):
+        _sim, _star, source, _sink = d2tcp_pair()
+        assert source.urgency() == 1.0
+
+    def test_late_flow_maxes_urgency(self):
+        sim, _star, source, _sink = d2tcp_pair(deadline=0.001)
+        source.send_message(1000)
+        sim.run(until=0.01)  # already past the deadline, data remains
+        if not source.all_acked:
+            assert source.urgency() == D2tcpSource.D_MAX
+
+    def test_urgency_clamped(self):
+        sim, _star, source, _sink = d2tcp_pair(deadline=1000.0)
+        source.send_message(100)
+        sim.run(until=0.002)
+        assert D2tcpSource.D_MIN <= source.urgency() <= D2tcpSource.D_MAX
+
+    def test_completed_flow_neutral(self):
+        sim, _star, source, _sink = d2tcp_pair(deadline=10.0)
+        source.send_message(10)
+        sim.run(until=0.5)
+        assert source.urgency() == 1.0
+
+
+class TestDeadlineAwareness:
+    def test_transfer_completes(self):
+        sim, _star, source, sink = d2tcp_pair(deadline=5.0)
+        source.send_message(1000)
+        sim.run(until=2.0)
+        assert sink.next_expected == 1000
+        assert source.stats.timeouts == 0
+
+    def test_near_deadline_flow_beats_far_deadline_flow(self):
+        """Two competing flows with asymmetric deadlines: the urgent one
+        should finish first — D²TCP's whole purpose."""
+        sim = Simulator()
+        star = build_star(sim, 2, frontend_bandwidth_bps=500e6,
+                          ecn_threshold_pkts=17)
+        config = default_config("d2tcp", **FAST)
+        urgent = D2tcpSource(
+            sim, star.servers[0], flow_id=1, dst_id=star.frontend.node_id,
+            config=config, deadline=0.05,
+        )
+        patient = D2tcpSource(
+            sim, star.servers[1], flow_id=2, dst_id=star.frontend.node_id,
+            config=config, deadline=10.0,
+        )
+        TcpSink(sim, star.frontend, flow_id=1)
+        TcpSink(sim, star.frontend, flow_id=2)
+        m_urgent = urgent.send_message(1500)
+        m_patient = patient.send_message(1500)
+        sim.run(until=2.0)
+        assert m_urgent.finish_time is not None
+        assert m_patient.finish_time is not None
+        assert m_urgent.finish_time < m_patient.finish_time

@@ -1,0 +1,107 @@
+"""Tests for receiver flow control (advertised window, app drain)."""
+
+import pytest
+
+from repro.net.topology import build_star
+from repro.sim.kernel import Simulator
+from repro.tcp.base import TcpConfig, TcpSink
+from repro.tcp.factory import create_source
+from tests.helpers import FAST
+
+
+def fc_pair(buffer_segments=None, drain_pps=None):
+    sim = Simulator()
+    star = build_star(sim, 1)
+    source = create_source(
+        "reno", sim, star.servers[0], flow_id=1,
+        dst_id=star.frontend.node_id, config=TcpConfig(**FAST),
+    )
+    sink = TcpSink(
+        sim, star.frontend, flow_id=1,
+        receive_buffer_segments=buffer_segments,
+        drain_rate_pps=drain_pps,
+    )
+    return sim, star, source, sink
+
+
+class TestAdvertisedWindow:
+    def test_unbounded_buffer_advertises_infinite(self):
+        _sim, _star, _source, sink = fc_pair()
+        assert sink._advertised_window() == float("inf")
+
+    def test_window_shrinks_with_backlog(self):
+        _sim, _star, _source, sink = fc_pair(buffer_segments=10, drain_pps=1.0)
+        sink.next_expected = 4  # 4 in-order segments undrained
+        assert sink._advertised_window() == 6
+
+    def test_out_of_order_data_occupies_buffer(self):
+        _sim, _star, _source, sink = fc_pair(buffer_segments=10, drain_pps=1.0)
+        sink._out_of_order = {5, 6}
+        assert sink._advertised_window() == 8
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            fc_pair(buffer_segments=0)
+        with pytest.raises(ValueError):
+            fc_pair(buffer_segments=5, drain_pps=0.0)
+
+
+class TestSlowApplication:
+    def test_transfer_throttled_to_drain_rate(self):
+        """A slow reader caps throughput at its drain rate, not the wire."""
+        drain = 2000.0  # segments/s, far below the 1 Gbps wire
+        sim, _star, source, sink = fc_pair(buffer_segments=20, drain_pps=drain)
+        msg = source.send_message(200)
+        sim.run(until=5.0)
+        assert source.all_acked
+        # 200 segments at ~2000 seg/s ≈ 0.1 s; wire alone would take ~2 ms.
+        assert 0.08 < msg.completion_time < 0.3
+
+    def test_sender_respects_advertised_window(self):
+        sim, _star, source, sink = fc_pair(buffer_segments=8, drain_pps=500.0)
+        source.send_message(100)
+        overshoot = {"max": 0}
+
+        def probe():
+            overshoot["max"] = max(overshoot["max"], sink._buffered_segments())
+            if sim.now < 1.0:
+                sim.schedule(1e-3, probe)
+
+        sim.schedule_at(0.0, probe)
+        sim.run(until=1.5)
+        # Buffer occupancy bounded by its capacity plus the 1-segment
+        # persist floor.
+        assert overshoot["max"] <= 9
+
+    def test_zero_window_resolves_without_deadlock(self):
+        sim, _star, source, sink = fc_pair(buffer_segments=2, drain_pps=100.0)
+        source.send_message(30)
+        sim.run(until=5.0)
+        assert source.all_acked
+        assert sink.app_read_segments == 30 or sink.app_read_segments == 29
+
+    def test_overflow_drops_counted(self):
+        sim, _star, source, sink = fc_pair(buffer_segments=2, drain_pps=50.0)
+        source.send_message(20)
+        sim.run(until=5.0)
+        assert sink.rwnd_overflow_drops > 0
+        assert source.all_acked
+
+    def test_instant_drain_never_limits(self):
+        sim, _star, source, sink = fc_pair(buffer_segments=4, drain_pps=None)
+        msg = source.send_message(300)
+        sim.run(until=1.0)
+        assert source.all_acked
+        assert msg.completion_time < 0.02
+        assert sink.rwnd_overflow_drops == 0
+
+    def test_fast_reader_imposes_no_penalty(self):
+        sim_fc, _s1, src_fc, _k1 = fc_pair(buffer_segments=1000, drain_pps=1e6)
+        m1 = src_fc.send_message(200)
+        sim_fc.run(until=1.0)
+        sim_plain, _s2, src_plain, _k2 = fc_pair()
+        m2 = src_plain.send_message(200)
+        sim_plain.run(until=1.0)
+        assert m1.completion_time == pytest.approx(
+            m2.completion_time, rel=0.05
+        )

@@ -1,0 +1,104 @@
+"""Unit tests for RTT estimation and the paper's smoothed RTT."""
+
+import pytest
+
+from repro.tcp.rtt import EwmaRtt, RttEstimator
+
+
+class TestRttEstimator:
+    def test_first_sample_initializes(self):
+        est = RttEstimator(min_rto=0.001)
+        est.sample(0.1)
+        assert est.srtt == pytest.approx(0.1)
+        assert est.rttvar == pytest.approx(0.05)
+        assert est.rto == pytest.approx(0.1 + 4 * 0.05)
+
+    def test_jacobson_update(self):
+        est = RttEstimator(min_rto=0.001)
+        est.sample(0.1)
+        est.sample(0.2)
+        # rttvar = 0.75*0.05 + 0.25*|0.1-0.2| = 0.0625
+        assert est.rttvar == pytest.approx(0.0625)
+        # srtt = 0.875*0.1 + 0.125*0.2 = 0.1125
+        assert est.srtt == pytest.approx(0.1125)
+
+    def test_min_rto_floor(self):
+        est = RttEstimator(min_rto=0.2)
+        est.sample(0.001)
+        assert est.rto == 0.2
+
+    def test_max_rto_ceiling(self):
+        est = RttEstimator(min_rto=0.001, max_rto=1.0)
+        est.sample(10.0)
+        assert est.rto == 1.0
+
+    def test_backoff_doubles(self):
+        est = RttEstimator(min_rto=0.1)
+        est.sample(0.001)
+        est.backoff()
+        assert est.rto == pytest.approx(0.2)
+        est.backoff()
+        assert est.rto == pytest.approx(0.4)
+
+    def test_backoff_capped_at_64x(self):
+        est = RttEstimator(min_rto=0.1, max_rto=1000.0)
+        est.sample(0.001)
+        for _ in range(20):
+            est.backoff()
+        assert est.backoff_factor == 64.0
+
+    def test_fresh_sample_resets_backoff(self):
+        est = RttEstimator(min_rto=0.1)
+        est.sample(0.001)
+        est.backoff()
+        est.sample(0.001)
+        assert est.backoff_factor == 1.0
+
+    def test_initial_rto_before_samples(self):
+        est = RttEstimator(min_rto=0.05, initial_rto=0.3)
+        assert est.rto == 0.3
+
+    def test_negative_sample_rejected(self):
+        with pytest.raises(ValueError):
+            RttEstimator().sample(-0.1)
+
+    def test_invalid_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            RttEstimator(min_rto=0.0)
+        with pytest.raises(ValueError):
+            RttEstimator(min_rto=1.0, max_rto=0.5)
+
+    def test_latest_sample_tracked(self):
+        est = RttEstimator()
+        est.sample(0.123)
+        assert est.latest_sample == 0.123
+
+
+class TestEwmaRtt:
+    def test_first_sample_seeds(self):
+        ewma = EwmaRtt(alpha=0.25)
+        assert ewma.update(0.4) == 0.4
+        assert ewma.value == 0.4
+
+    def test_ewma_formula(self):
+        ewma = EwmaRtt(alpha=0.25)
+        ewma.update(0.4)
+        assert ewma.update(0.8) == pytest.approx(0.75 * 0.4 + 0.25 * 0.8)
+
+    def test_paper_alpha_default(self):
+        assert EwmaRtt().alpha == 0.25
+
+    def test_invalid_alpha_rejected(self):
+        for alpha in (0.0, -0.5, 1.5):
+            with pytest.raises(ValueError):
+                EwmaRtt(alpha=alpha)
+
+    def test_negative_sample_rejected(self):
+        with pytest.raises(ValueError):
+            EwmaRtt().update(-1.0)
+
+    def test_converges_to_constant_input(self):
+        ewma = EwmaRtt(alpha=0.25)
+        for _ in range(100):
+            ewma.update(0.5)
+        assert ewma.value == pytest.approx(0.5)

@@ -1,0 +1,103 @@
+"""Tests for the window-based TIMELY baseline."""
+
+import pytest
+
+from repro.tcp.factory import default_config, source_class
+from repro.tcp.timely import TimelySource
+from tests.helpers import FAST, drop_seqs_once, install_loss, make_pair
+
+
+def timely_pair(**kwargs):
+    config = kwargs.pop("config", default_config("timely", **FAST))
+    return make_pair("timely", config=config, **kwargs)
+
+
+class TestTimely:
+    def test_registered(self):
+        assert source_class("timely") is TimelySource
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            timely_pair(t_low=2e-3, t_high=1e-3)
+
+    def test_default_thresholds_track_min_rtt(self):
+        sim, _star, source, _sink = timely_pair()
+        source.send_message(50)
+        sim.run(until=0.05)
+        assert source.min_rtt < float("inf")
+        assert source.t_low == pytest.approx(
+            TimelySource.T_LOW_FACTOR * source.min_rtt
+        )
+        assert source.t_high > source.t_low
+
+    def test_configured_thresholds_win(self):
+        _sim, _star, source, _sink = timely_pair(t_low=1e-3, t_high=3e-3)
+        assert source.t_low == 1e-3
+        assert source.t_high == 3e-3
+
+    def test_completes_clean_transfer(self):
+        sim, _star, source, sink = timely_pair()
+        source.send_message(400)
+        sim.run(until=1.0)
+        assert sink.next_expected == 400
+        assert source.stats.timeouts == 0
+
+    def test_gradient_decrease_on_rising_rtt(self):
+        _sim, _star, source, _sink = timely_pair()
+        source.min_rtt = 1e-3
+        source.ssthresh = 2.0  # force congestion-avoidance path
+        source.cwnd = 40.0
+        source._gradient.value = 1.5e-3  # positive normalized gradient 0.5
+        source._apply_gradient_update(rtt=1.5e-3)  # between t_low, t_high
+        assert source.cwnd == pytest.approx(40.0 * (1 - 0.8 * 0.5))
+
+    def test_additive_increase_below_t_low(self):
+        _sim, _star, source, _sink = timely_pair()
+        source.min_rtt = 1e-3
+        source.ssthresh = 2.0
+        source.cwnd = 10.0
+        source._apply_gradient_update(rtt=0.5e-3)
+        assert source.cwnd == pytest.approx(10.0 + TimelySource.ADD_STEP)
+
+    def test_multiplicative_decrease_above_t_high(self):
+        _sim, _star, source, _sink = timely_pair()
+        source.min_rtt = 1e-3
+        source.ssthresh = 2.0
+        source.cwnd = 40.0
+        rtt = 5e-3  # 2x t_high
+        source._apply_gradient_update(rtt=rtt)
+        expected = 40.0 * (1 - 0.8 * (1 - source.t_high / rtt))
+        assert source.cwnd == pytest.approx(expected)
+
+    def test_hai_after_negative_streak(self):
+        _sim, _star, source, _sink = timely_pair()
+        source.min_rtt = 1e-3
+        source.ssthresh = 2.0
+        source.cwnd = 10.0
+        source._gradient.value = source.min_rtt * 0.5  # negative gradient
+        for _ in range(TimelySource.HAI_THRESH + 1):
+            source._apply_gradient_update(rtt=1.5e-3)
+        # The last steps used the HAI increment.
+        assert source.cwnd > 10.0 + (TimelySource.HAI_THRESH + 1)
+
+    def test_controls_queue_on_contended_link(self):
+        sim, star, source, _sink = timely_pair(frontend_bandwidth=200e6)
+        source.send_message(30000)
+        peak = {"v": 0}
+
+        def probe():
+            peak["v"] = max(peak["v"], star.bottleneck.backlog_pkts)
+            if sim.now < 0.3:
+                sim.schedule(1e-4, probe)
+
+        sim.schedule_at(0.05, probe)
+        sim.run(until=0.3)
+        assert peak["v"] < 60  # never rides the 100-packet ceiling
+        assert source.stats.timeouts == 0
+
+    def test_loss_recovery_still_works(self):
+        sim, star, source, sink = timely_pair()
+        install_loss(star.bottleneck, drop_seqs_once({10}))
+        source.send_message(40)
+        sim.run(until=1.0)
+        assert sink.next_expected == 40
