@@ -30,8 +30,8 @@ def run_policy(protocol: str, persistent: bool, seed: int = 2):
     if protocol == "trim":
         bg_kwargs["capacity_pps"] = packets_per_second(1e9)
     bg = create_source(
-        protocol, sim, star.servers[1], flow_id=9,
-        dst_id=star.frontend.node_id,
+        protocol, sim, star.servers[1], star.frontend.node_id,
+        flow_id=9,
         config=warm_config(default_config(protocol, min_rto=0.2, initial_rto=0.2)),
         **bg_kwargs,
     )

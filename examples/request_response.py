@@ -38,8 +38,8 @@ def run_session(protocol: str, n_requests: int, seed: int) -> list[float]:
         bg_kwargs["capacity_pps"] = packets_per_second(1e9)
     bg_config = warm_config(default_config(protocol, min_rto=0.01, initial_rto=0.01))
     bg = create_source(
-        protocol, sim, star.servers[1], flow_id=9,
-        dst_id=star.frontend.node_id, config=bg_config, **bg_kwargs,
+        protocol, sim, star.servers[1], star.frontend.node_id,
+        flow_id=9, config=bg_config, **bg_kwargs,
     )
     TcpSink(sim, star.frontend, flow_id=9)
     LongTrainSender(sim, bg, 0.0).start()

@@ -33,8 +33,8 @@ def main() -> None:
     sim = Simulator()
     star = build_star(sim, 1)
     source = create_source(
-        "trim", sim, star.servers[0], flow_id=1,
-        dst_id=star.frontend.node_id,
+        "trim", sim, star.servers[0], star.frontend.node_id,
+        flow_id=1,
         config=TcpConfig(min_rto=0.01, initial_rto=0.01),
         capacity_pps=1e9 / (8 * 1460),
     )

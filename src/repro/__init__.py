@@ -23,6 +23,7 @@ paper-versus-measured record of every figure and table.
 """
 
 from repro.core import SteadyStateModel, TrimSource, k_threshold, kguide
+from repro.experiments.base import Experiment, Point
 from repro.net import (
     Network,
     build_fat_tree,
@@ -30,7 +31,8 @@ from repro.net import (
     build_star,
     build_two_level_tree,
 )
-from repro.sim import RandomStreams, Simulator
+from repro.runner import ResultCache, SweepRunner
+from repro.sim import RandomStreams, Simulator, derive_seed
 from repro.tcp import (
     PROTOCOLS,
     Message,
@@ -43,13 +45,36 @@ from repro.tcp import (
 
 __version__ = "1.0.0"
 
+
+def get_experiment(experiment_id: str) -> Experiment:
+    """Resolve a registered experiment by figure id (or alias).
+
+    Thin wrapper over :func:`repro.experiments.registry.get`, imported
+    lazily so ``import repro`` does not pull every experiment module.
+    """
+    from repro.experiments import registry
+
+    return registry.get(experiment_id)
+
+
+def experiment_ids() -> list[str]:
+    """All resolvable experiment ids (canonical ids plus aliases)."""
+    from repro.experiments import registry
+
+    return registry.ids()
+
+
 __all__ = [
+    "Experiment",
     "Message",
     "Network",
     "PROTOCOLS",
+    "Point",
     "RandomStreams",
+    "ResultCache",
     "Simulator",
     "SteadyStateModel",
+    "SweepRunner",
     "TcpConfig",
     "TcpSink",
     "TcpSource",
@@ -59,6 +84,9 @@ __all__ = [
     "build_star",
     "build_two_level_tree",
     "create_source",
+    "derive_seed",
+    "experiment_ids",
+    "get_experiment",
     "k_threshold",
     "kguide",
     "make_connection",

@@ -1,64 +1,58 @@
 """Experiment harnesses: one module per paper figure/table.
 
-| Module                | Reproduces            |
-|-----------------------|-----------------------|
-| ``workload_figs``     | Fig. 1, Fig. 2        |
-| ``motivation``        | Fig. 4, Fig. 6        |
-| ``concurrency``       | Fig. 5, Fig. 7        |
-| ``large_scale``       | Fig. 8                |
-| ``properties``        | Fig. 9                |
-| ``fairness``          | Fig. 10               |
-| ``multihop``          | Fig. 11               |
-| ``fattree``           | Fig. 12, Table I      |
-| ``testbed``           | Fig. 13               |
+| Module                | Reproduces            | Registry ids        |
+|-----------------------|-----------------------|---------------------|
+| ``workload_figs``     | Fig. 1, Fig. 2        | ``fig1``, ``fig2``  |
+| ``motivation``        | Fig. 4, Fig. 6        | ``fig4``, ``fig6``  |
+| ``concurrency``       | Fig. 5, Fig. 7        | ``fig5``, ``fig7``  |
+| ``large_scale``       | Fig. 8                | ``fig8``            |
+| ``properties``        | Fig. 9                | ``fig9``            |
+| ``fairness``          | Fig. 10               | ``fig10``           |
+| ``multihop``          | Fig. 11               | ``fig11``           |
+| ``fattree``           | Fig. 12, Table I      | ``fig12``, ``table1``|
+| ``testbed``           | Fig. 13               | ``fig13a``, ``fig13be``|
+| ``ablation``          | design-choice studies | ``ablations``       |
+| ``incast``            | incast collapse       | ``incast``          |
 
-Each parameter dataclass has ``paper()`` (full published parameters)
-and ``quick()`` (reduced-scale, same structure) presets; benchmarks run
-``quick`` and EXPERIMENTS.md records both.  ``python -m
-repro.experiments <name>`` runs one from the command line.
+Every experiment implements the :class:`Experiment` protocol — a params
+dataclass with ``paper()``/``quick()`` presets, a :meth:`points`
+enumeration of independent simulation points, a per-point
+:meth:`run_point`, and a :meth:`reduce` fold — and registers itself
+under its figure ids::
+
+    from repro.experiments import registry
+    from repro.runner import SweepRunner
+
+    experiment = registry.get("fig8")
+    params = experiment.make_params("quick", protocol="trim")
+    payload = SweepRunner(jobs=4).run(experiment, params, seed=1)
+
+``python -m repro.experiments <id>`` is the command-line face of the
+same machinery.  The old ad-hoc ``run_*`` entry points are still
+importable from this package but deprecated; import them from their
+defining modules (or, better, go through the registry).
 """
 
+from __future__ import annotations
+
+import warnings
+
+from repro.experiments import registry
 from repro.experiments.ablation import (
+    AblationParams,
     AlphaCase,
     KSweepCase,
     ProbePolicyCase,
-    run_alpha_sweep,
-    run_k_sweep,
-    run_probe_policies,
 )
-from repro.experiments.concurrency import (
-    ConcurrencyCase,
-    ConcurrencyParams,
-    run_concurrency,
-    run_concurrency_sweep,
-)
-from repro.experiments.fairness import FairnessParams, FairnessResult, run_fairness
-from repro.experiments.incast import (
-    IncastCase,
-    IncastParams,
-    run_incast,
-    run_incast_sweep,
-)
-from repro.experiments.fattree import FatTreeParams, FatTreeResult, run_fattree
-from repro.experiments.large_scale import (
-    LargeScaleCase,
-    LargeScaleParams,
-    run_large_scale,
-    run_large_scale_sweep,
-)
-from repro.experiments.motivation import (
-    MotivationParams,
-    MotivationResult,
-    run_motivation,
-)
-from repro.experiments.multihop import MultiHopParams, MultiHopResult, run_multihop
-from repro.experiments.properties import (
-    PropertiesCase,
-    PropertiesParams,
-    run_properties_case,
-    run_properties_sweep,
-    run_queue_trace,
-)
+from repro.experiments.base import Experiment, Point
+from repro.experiments.concurrency import ConcurrencyCase, ConcurrencyParams
+from repro.experiments.fairness import FairnessParams, FairnessResult
+from repro.experiments.fattree import FatTreeParams, FatTreeResult
+from repro.experiments.incast import IncastCase, IncastParams
+from repro.experiments.large_scale import LargeScaleCase, LargeScaleParams
+from repro.experiments.motivation import MotivationParams, MotivationResult
+from repro.experiments.multihop import MultiHopParams, MultiHopResult
+from repro.experiments.properties import PropertiesCase, PropertiesParams
 from repro.experiments.scenarios import (
     ConnectionSet,
     dctcp_threshold_pkts,
@@ -71,58 +65,109 @@ from repro.experiments.testbed import (
     ArctParams,
     WebServiceParams,
     WebServiceResult,
-    run_arct_sweep,
-    run_web_service,
 )
-from repro.experiments.workload_figs import WorkloadFigures, characterize_workload
+from repro.experiments.workload_figs import WorkloadFigures, WorkloadParams
 
 __all__ = [
+    "AblationParams",
     "AlphaCase",
     "ArctCase",
-    "KSweepCase",
-    "ProbePolicyCase",
-    "run_alpha_sweep",
-    "run_k_sweep",
-    "run_probe_policies",
     "ArctParams",
     "ConcurrencyCase",
     "ConcurrencyParams",
     "ConnectionSet",
+    "Experiment",
     "FairnessParams",
     "FairnessResult",
     "FatTreeParams",
     "FatTreeResult",
     "IncastCase",
     "IncastParams",
+    "KSweepCase",
     "LargeScaleCase",
     "LargeScaleParams",
     "MotivationParams",
     "MotivationResult",
     "MultiHopParams",
     "MultiHopResult",
+    "Point",
+    "ProbePolicyCase",
     "PropertiesCase",
     "PropertiesParams",
     "WebServiceParams",
     "WebServiceResult",
     "WorkloadFigures",
+    "WorkloadParams",
     "characterize_workload",
     "dctcp_threshold_pkts",
     "ecn_threshold_for",
     "packets_per_second",
+    "registry",
     "run_arct_sweep",
+    "run_alpha_sweep",
     "run_concurrency",
     "run_concurrency_sweep",
     "run_fairness",
     "run_fattree",
     "run_incast",
     "run_incast_sweep",
+    "run_k_sweep",
     "run_large_scale",
     "run_large_scale_sweep",
     "run_motivation",
     "run_multihop",
+    "run_probe_policies",
     "run_properties_case",
     "run_properties_sweep",
     "run_queue_trace",
     "run_until",
     "run_web_service",
 ]
+
+#: deprecated top-level names → (defining module, registry id to prefer)
+_DEPRECATED = {
+    "characterize_workload": ("repro.experiments.workload_figs", "fig1"),
+    "run_alpha_sweep": ("repro.experiments.ablation", "ablations"),
+    "run_arct_sweep": ("repro.experiments.testbed", "fig13a"),
+    "run_concurrency": ("repro.experiments.concurrency", "fig5"),
+    "run_concurrency_sweep": ("repro.experiments.concurrency", "fig5"),
+    "run_fairness": ("repro.experiments.fairness", "fig10"),
+    "run_fattree": ("repro.experiments.fattree", "fig12"),
+    "run_incast": ("repro.experiments.incast", "incast"),
+    "run_incast_sweep": ("repro.experiments.incast", "incast"),
+    "run_k_sweep": ("repro.experiments.ablation", "ablations"),
+    "run_large_scale": ("repro.experiments.large_scale", "fig8"),
+    "run_large_scale_sweep": ("repro.experiments.large_scale", "fig8"),
+    "run_motivation": ("repro.experiments.motivation", "fig4"),
+    "run_multihop": ("repro.experiments.multihop", "fig11"),
+    "run_probe_policies": ("repro.experiments.ablation", "ablations"),
+    "run_properties_case": ("repro.experiments.properties", "fig9"),
+    "run_properties_sweep": ("repro.experiments.properties", "fig9"),
+    "run_queue_trace": ("repro.experiments.properties", "fig9"),
+    "run_web_service": ("repro.experiments.testbed", "fig13be"),
+}
+
+
+def __getattr__(name: str):
+    """PEP 562 shim: the old ``run_*`` entry points, with a warning.
+
+    The functions still exist on their defining modules; what is
+    deprecated is reaching them through the package root instead of the
+    registry/runner API.
+    """
+    try:
+        module_name, experiment_id = _DEPRECATED[name]
+    except KeyError:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}"
+        ) from None
+    warnings.warn(
+        f"importing {name!r} from {__name__!r} is deprecated; use "
+        f"registry.get({experiment_id!r}) with repro.runner.SweepRunner, "
+        f"or import it from {module_name!r}",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    import importlib
+
+    return getattr(importlib.import_module(module_name), name)

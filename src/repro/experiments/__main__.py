@@ -3,10 +3,16 @@
 Usage::
 
     python -m repro.experiments fig6 --preset quick
-    python -m repro.experiments table1 --preset paper --protocols reno,trim
-    python -m repro.experiments all --preset quick
+    python -m repro.experiments fig8 --preset paper --jobs 4
+    python -m repro.experiments table1 --protocols reno,trim
+    python -m repro.experiments all --preset quick --no-cache
 
-Each experiment prints rows shaped like the paper's figure/table.
+Experiments are resolved through :mod:`repro.experiments.registry` and
+executed by :class:`repro.runner.SweepRunner`: every figure is a sweep
+of independent points, fanned out to ``--jobs`` worker processes with a
+content-addressed result cache (``--cache-dir`` / ``--no-cache``).
+Results are bit-identical for any ``--jobs`` value.  Each experiment
+prints rows shaped like the paper's figure/table.
 """
 
 from __future__ import annotations
@@ -15,253 +21,30 @@ import argparse
 import sys
 import time
 
-from repro.experiments import (
-    ArctParams,
-    ConcurrencyParams,
-    FairnessParams,
-    FatTreeParams,
-    LargeScaleParams,
-    MotivationParams,
-    MultiHopParams,
-    PropertiesParams,
-    WebServiceParams,
-    characterize_workload,
-    run_arct_sweep,
-    run_concurrency_sweep,
-    run_fairness,
-    run_fattree,
-    run_large_scale_sweep,
-    run_motivation,
-    run_multihop,
-    run_properties_sweep,
-    run_queue_trace,
-    run_web_service,
-)
+from repro.experiments import registry
+from repro.runner import ResultCache, SweepRunner
+from repro.runner.cache import default_cache_dir
 
-MS = 1e3
+#: every resolvable id (canonical figure ids plus aliases such as
+#: ``fig2`` → ``fig1``) mapped to its experiment instance.
+EXPERIMENTS = {name: registry.get(name) for name in registry.ids()}
 
 
-def _preset(params_cls, preset: str, protocol: str, **overrides):
-    maker = params_cls.paper if preset == "paper" else params_cls.quick
-    return maker(protocol, **overrides)
-
-
-def fig1_fig2(args):
-    wl = characterize_workload(seed=args.seed)
-    print(f"Fig.1/2 workload: {len(wl.trains)} trains, {len(wl.packet_times)} packets")
-    print(f"  LPTs (>=128KB): {wl.n_long_trains} "
-          f"({wl.n_long_trains / len(wl.trains):.1%}, paper: ~10%)")
-    print(f"  trains <= 4KB: {wl.size_fraction_below(4096):.1%} (paper: <20%)")
-    print(f"  trains <= 128KB: {wl.size_fraction_below(131072):.1%} (paper: ~90%)")
-    if wl.gaps:
-        lo, hi = min(wl.gaps), max(wl.gaps)
-        print(f"  inter-train gaps: {lo * 1e6:.0f}us .. {hi * MS:.2f}ms "
-              f"(paper: hundreds of us to several ms)")
-    return {
-        "n_trains": len(wl.trains),
-        "n_packets": len(wl.packet_times),
-        "n_long_trains": wl.n_long_trains,
-        "frac_le_4k": wl.size_fraction_below(4096),
-        "frac_le_128k": wl.size_fraction_below(131072),
-    }
-
-
-def fig4_fig6(args):
-    payload = {}
-    for protocol in args.protocols:
-        r = run_motivation(_preset(MotivationParams, args.preset, protocol))
-        label = "Fig.4" if protocol == "reno" else "Fig.6"
-        print(f"{label} [{protocol}] timeouts/conn={r.timeouts_per_connection} "
-              f"drops={r.dropped_packets} peak_queue={r.peak_queue_pkts:.0f}pkt")
-        print(f"  inherited cwnd at LPT start: "
-              f"{[round(c) for c in r.inherited_cwnd]}")
-        print(f"  LPT completion (ms): "
-              f"{[round(t * MS, 1) for t in r.lpt_completion_times]}; "
-              f"all done at t={r.all_done_time:.3f}s")
-        payload[protocol] = r
+def _run_one(name: str, exp, runner: SweepRunner, args) -> object:
+    """Run one experiment for the CLI's protocol list; returns payload."""
+    if exp.uses_protocols:
+        protocols = exp.select_protocols(args.protocols)
+        tasks = [
+            (exp, exp.make_params(args.preset, protocol=p)) for p in protocols
+        ]
+        payloads = runner.run_many(tasks, seed=args.seed)
+        for (experiment, params), payload in zip(tasks, payloads):
+            experiment.report(params, payload)
+        return dict(zip(protocols, payloads))
+    params = exp.make_params(args.preset)
+    payload = runner.run(exp, params, seed=args.seed)
+    exp.report(params, payload)
     return payload
-
-
-def fig5_fig7(args):
-    payload = {}
-    for protocol in args.protocols:
-        params = _preset(ConcurrencyParams, args.preset, protocol)
-        print(f"[{protocol}] ACT of SPTs with {params.n_lpts} LPTs:")
-        cases = run_concurrency_sweep(params)
-        for case in cases:
-            print(f"  n_spt={case.n_spts:3d}  ACT={case.act * MS:9.2f}ms  "
-                  f"min={case.min_ct * MS:8.2f}ms  max={case.max_ct * MS:9.2f}ms  "
-                  f"spt_timeouts={case.spt_timeouts}")
-        payload[protocol] = cases
-    return payload
-
-
-def fig8(args):
-    payload = {}
-    for protocol in args.protocols:
-        params = _preset(LargeScaleParams, args.preset, protocol)
-        print(f"[{protocol}] large-scale ACT of SPTs ({params.distribution}):")
-        payload[protocol] = run_large_scale_sweep(params)
-        for case in payload[protocol]:
-            print(f"  servers={case.n_servers:5d}  ACT={case.act * MS:9.2f}ms  "
-                  f"max={case.max_ct * MS:9.2f}ms  "
-                  f"completed={case.completed}/{case.expected}  "
-                  f"timeouts={case.timeouts}")
-    return payload
-
-
-def fig9(args):
-    payload = {}
-    for protocol in args.protocols:
-        params = _preset(PropertiesParams, args.preset, protocol)
-        trace = run_queue_trace(params, n_trains=5)
-        print(f"[{protocol}] Fig.9a queue with 5 LPTs: "
-              f"mean={trace.mean():6.1f}pkt  peak={trace.max():5.0f}pkt")
-        print(f"[{protocol}] Fig.9b-d sweep:")
-        cases = run_properties_sweep(params, counts=(2, 4, 6, 8, 10))
-        for case in cases:
-            print(f"  n={case.n_trains:2d}  AQL={case.average_queue_pkts:6.1f}pkt  "
-                  f"drops={case.dropped_packets:6d}  "
-                  f"goodput={case.goodput_bps / 1e6:7.1f}Mbps "
-                  f"({case.utilization:.1%})")
-        payload[protocol] = {"queue_trace": trace, "sweep": cases}
-    return payload
-
-
-def fig10(args):
-    payload = {}
-    for protocol in args.protocols:
-        r = run_fairness(_preset(FairnessParams, args.preset, protocol))
-        shares = [f"{s / 1e6:.0f}" for s in r.plateau_shares]
-        print(f"[{protocol}] Fig.10 plateau shares (Mbps): {shares}  "
-              f"Jain={r.plateau_fairness:.4f}  timeouts={r.timeouts}")
-        payload[protocol] = r
-    return payload
-
-
-def fig11(args):
-    payload = {}
-    for protocol in args.protocols:
-        r = run_multihop(_preset(MultiHopParams, args.preset, protocol))
-        print(f"[{protocol}] Fig.11 per-sender throughput: "
-              f"A={r.mean('a') / 1e6:6.1f}Mbps  B={r.mean('b') / 1e6:6.1f}Mbps  "
-              f"C={r.mean('c') / 1e6:6.1f}Mbps  "
-              f"timeouts={r.timeouts}  drops={r.dropped_packets}")
-        payload[protocol] = r
-    return payload
-
-
-def fig12_table1(args):
-    pods = (4, 6) if args.preset == "quick" else (4, 6, 8, 10)
-    header = f"{'pods':>5} " + "".join(f"{p:>24}" for p in args.protocols)
-    print("Fig.12 mean/max completion (ms) and Table I timeouts:")
-    print(header)
-    payload = {}
-    for k in pods:
-        row = [f"{k:>5}"]
-        for protocol in args.protocols:
-            r = run_fattree(_preset(FatTreeParams, args.preset, protocol, k=k))
-            payload[f"{protocol}-pods{k}"] = r
-            row.append(
-                f" {r.big_mean_completion * MS:7.1f}/{r.big_max_completion * MS:7.1f}"
-                f" to={r.total_timeouts:5d}"
-            )
-        print("".join(row))
-    return payload
-
-
-def fig13a(args):
-    # The paper's Fig. 13(a) compares CUBIC (Linux default) and TRIM.
-    protocols = [p for p in args.protocols if p not in ("dctcp", "l2dct")]
-    if protocols == ["reno", "trim"]:
-        protocols = ["cubic", "trim"]
-    payload = {}
-    for protocol in protocols:
-        print(f"[{protocol}] Fig.13a ARCT vs mean response size:")
-        payload[protocol] = run_arct_sweep(_preset(ArctParams, args.preset, protocol))
-        for case in payload[protocol]:
-            print(f"  size={case.mean_size_bytes / 1024:7.0f}KB  "
-                  f"ARCT={case.arct * MS:9.2f}ms  max={case.max_ct * MS:9.2f}ms  "
-                  f"timeouts={case.timeouts}")
-    return payload
-
-
-def fig13be(args):
-    payload = {}
-    for protocol in args.protocols:
-        r = run_web_service(_preset(WebServiceParams, args.preset, protocol))
-        print(f"[{protocol}] Fig.13b-e web service: "
-              f"ARCT={r.arct * MS:7.2f}ms  p99={r.p99 * MS:7.2f}ms  "
-              f"64-256KB max={r.band_max * MS:7.2f}ms  "
-              f"<25ms: {r.fraction_under_threshold:.1%}  timeouts={r.timeouts}")
-        payload[protocol] = r
-    return payload
-
-
-def ablations(args):
-    from repro.experiments.ablation import (
-        run_alpha_sweep,
-        run_k_sweep,
-        run_probe_policies,
-    )
-
-    payload = {"k_sweep": run_k_sweep()}
-    print("K sweep (5 TRIM trains, 1 Gbps star):")
-    for case in payload["k_sweep"]:
-        print(f"  K={case.multiplier:4.2f}x Eq.22 ({case.k * 1e6:6.0f}us)  "
-              f"util={case.utilization:6.1%}  AQL={case.average_queue_pkts:6.1f}  "
-              f"drops={case.dropped_packets}  to={case.timeouts}")
-    payload["probe_policies"] = run_probe_policies(quick=args.preset == "quick")
-    print("Probe policies (motivation scenario):")
-    for case in payload["probe_policies"]:
-        print(f"  {case.protocol:5s}  to={case.timeouts:3d}  "
-              f"drops={case.dropped_packets:5d}  "
-              f"mean LPT={case.mean_lpt_completion * MS:7.1f}ms  "
-              f"done@{case.all_done_time:6.3f}s")
-    payload["alpha_sweep"] = run_alpha_sweep()
-    print("Smooth-RTT gain sweep:")
-    for case in payload["alpha_sweep"]:
-        print(f"  alpha={case.alpha:4.2f}  probes={case.probes_completed:3d}  "
-              f"deadline_misses={case.probe_deadline_misses:3d}  "
-              f"to={case.timeouts}  done@{case.stream_finish_time * MS:7.1f}ms")
-    return payload
-
-
-def incast(args):
-    from repro.experiments.incast import IncastParams, run_incast_sweep
-
-    payload = {}
-    for protocol in args.protocols:
-        params = _preset(IncastParams, args.preset, protocol)
-        print(f"[{protocol}] incast goodput vs fan-in "
-              f"({params.block_bytes // 1024} KB blocks):")
-        payload[protocol] = run_incast_sweep(params)
-        for case in payload[protocol]:
-            print(f"  n={case.n_senders:3d}  "
-                  f"goodput={case.goodput_bps / 1e6:7.1f} Mbps  "
-                  f"batch={case.batch_completion * MS:8.1f} ms  "
-                  f"timeouts={case.timeouts}")
-    return payload
-
-
-EXPERIMENTS = {
-    "ablations": ablations,
-    "incast": incast,
-    "fig1": fig1_fig2,
-    "fig2": fig1_fig2,
-    "fig4": fig4_fig6,
-    "fig5": fig5_fig7,
-    "fig6": fig4_fig6,
-    "fig7": fig5_fig7,
-    "fig8": fig8,
-    "fig9": fig9,
-    "fig10": fig10,
-    "fig11": fig11,
-    "fig12": fig12_table1,
-    "table1": fig12_table1,
-    "fig13a": fig13a,
-    "fig13be": fig13be,
-}
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -278,25 +61,83 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument("--seed", type=int, default=1)
     parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for sweep points (default: 1, inline)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="sweep result cache location (default: $REPRO_CACHE_DIR or "
+        "~/.cache/repro-experiments)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the sweep result cache for this run",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="per-point timeout in seconds (pool runs only)",
+    )
+    parser.add_argument(
+        "--progress",
+        action="store_true",
+        help="print per-point progress/ETA lines to stderr",
+    )
+    parser.add_argument(
         "--output",
         default=None,
         help="write a JSON artifact of the measured results to this path",
     )
     args = parser.parse_args(argv)
     args.protocols = [p.strip() for p in args.protocols.split(",") if p.strip()]
+    if args.jobs < 1:
+        parser.error("--jobs must be >= 1")
+    if not args.protocols:
+        parser.error("--protocols must name at least one protocol")
+    from repro.tcp.factory import source_class
+
+    for protocol in args.protocols:
+        try:
+            source_class(protocol)
+        except ValueError as exc:
+            parser.error(str(exc))
+
+    cache = None
+    if not args.no_cache:
+        cache = ResultCache(args.cache_dir or default_cache_dir())
+    runner = SweepRunner(
+        jobs=args.jobs,
+        cache=cache,
+        timeout=args.timeout,
+        progress=args.progress,
+        label=args.experiment,
+    )
 
     names = sorted(set(EXPERIMENTS)) if args.experiment == "all" else [args.experiment]
-    seen = set()
+    seen: set[str] = set()
     artifacts = {}
+    total_hits = total_executed = 0
     for name in names:
-        fn = EXPERIMENTS[name]
-        if fn in seen:
+        exp = EXPERIMENTS[name]
+        if exp.id in seen:  # aliases (fig2, fig6, table1...) run once
             continue
-        seen.add(fn)
+        seen.add(exp.id)
         print(f"=== {name} (preset={args.preset}) ===")
         start = time.perf_counter()
-        artifacts[name] = fn(args)
-        print(f"    [{time.perf_counter() - start:.1f}s]\n")
+        artifacts[name] = _run_one(name, exp, runner, args)
+        stats = runner.last_stats
+        if stats is not None:
+            total_hits += stats.cache_hits
+            total_executed += stats.executed
+        note = ""
+        if stats is not None and stats.cache_hits:
+            note = f", {stats.cache_hits}/{stats.total_points} cached"
+        print(f"    [{time.perf_counter() - start:.1f}s{note}]\n")
     if args.output:
         from repro.experiments.store import save_results
 
@@ -306,6 +147,11 @@ def main(argv: list[str] | None = None) -> int:
             payload=artifacts,
             preset=args.preset,
             seed=args.seed,
+            metadata={
+                "jobs": args.jobs,
+                "cache_hits": total_hits,
+                "executed_points": total_executed,
+            },
         )
         print(f"results written to {path}")
     return 0

@@ -16,6 +16,8 @@ from dataclasses import dataclass
 from typing import Sequence
 
 from repro.core import kguide
+from repro.experiments.base import Experiment, Point
+from repro.experiments.registry import register
 from repro.experiments.motivation import MotivationParams, run_motivation
 from repro.experiments.scenarios import packets_per_second, path_base_rtt
 from repro.net.topology import build_star
@@ -24,6 +26,8 @@ from repro.tcp.base import TcpConfig, TcpSink
 from repro.core.trim import TrimSource
 
 __all__ = [
+    "AblationExperiment",
+    "AblationParams",
     "AlphaCase",
     "KSweepCase",
     "ProbePolicyCase",
@@ -245,3 +249,72 @@ def run_alpha_sweep(
             )
         )
     return cases
+
+
+# ----------------------------------------------------------------------
+# Registered experiment
+# ----------------------------------------------------------------------
+
+@dataclass
+class AblationParams:
+    """Knobs of the three ablation studies (no protocol sweep)."""
+
+    preset: str = "quick"
+    k_multipliers: Sequence[float] = (0.5, 0.75, 1.0, 1.5, 2.0)
+    probe_protocols: Sequence[str] = ("reno", "gip", "trim")
+    alphas: Sequence[float] = (0.1, 0.25, 0.5, 0.9)
+
+    @classmethod
+    def paper(cls, **overrides) -> "AblationParams":
+        overrides.setdefault("preset", "paper")
+        return cls(**overrides)
+
+    @classmethod
+    def quick(cls, **overrides) -> "AblationParams":
+        overrides.setdefault("preset", "quick")
+        return cls(**overrides)
+
+
+@register
+class AblationExperiment(Experiment):
+    """The three TCP-TRIM design-choice studies as one experiment."""
+
+    id = "ablations"
+    title = "Ablations: K sweep, probe policies, alpha sweep"
+    params_cls = AblationParams
+    uses_protocols = False
+
+    def points(self, params: AblationParams):
+        return [Point("k_sweep"), Point("probe_policies"), Point("alpha_sweep")]
+
+    def run_point(self, params: AblationParams, point: Point, seed: int):
+        if point.label == "k_sweep":
+            return run_k_sweep(multipliers=params.k_multipliers)
+        if point.label == "probe_policies":
+            return run_probe_policies(
+                protocols=params.probe_protocols,
+                quick=params.preset == "quick",
+            )
+        return run_alpha_sweep(alphas=params.alphas)
+
+    def reduce(self, params, points, results):
+        return {p.label: r for p, r in zip(points, results)}
+
+    def report(self, params, payload) -> None:
+        MS = 1e3
+        print("K sweep (5 TRIM trains, 1 Gbps star):")
+        for case in payload["k_sweep"]:
+            print(f"  K={case.multiplier:4.2f}x Eq.22 ({case.k * 1e6:6.0f}us)  "
+                  f"util={case.utilization:6.1%}  AQL={case.average_queue_pkts:6.1f}  "
+                  f"drops={case.dropped_packets}  to={case.timeouts}")
+        print("Probe policies (motivation scenario):")
+        for case in payload["probe_policies"]:
+            print(f"  {case.protocol:5s}  to={case.timeouts:3d}  "
+                  f"drops={case.dropped_packets:5d}  "
+                  f"mean LPT={case.mean_lpt_completion * MS:7.1f}ms  "
+                  f"done@{case.all_done_time:6.3f}s")
+        print("Smooth-RTT gain sweep:")
+        for case in payload["alpha_sweep"]:
+            print(f"  alpha={case.alpha:4.2f}  probes={case.probes_completed:3d}  "
+                  f"deadline_misses={case.probe_deadline_misses:3d}  "
+                  f"to={case.timeouts}  done@{case.stream_finish_time * MS:7.1f}ms")

@@ -13,6 +13,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
+from repro.experiments.base import Experiment, Point
+from repro.experiments.registry import register
 from repro.experiments.scenarios import (
     ConnectionSet,
     ecn_threshold_for,
@@ -27,7 +29,13 @@ from repro.net.topology import build_star
 from repro.sim.kernel import Simulator
 from repro.tcp.factory import default_config
 
-__all__ = ["ConcurrencyCase", "ConcurrencyParams", "run_concurrency", "run_concurrency_sweep"]
+__all__ = [
+    "ConcurrencyCase",
+    "ConcurrencyExperiment",
+    "ConcurrencyParams",
+    "run_concurrency",
+    "run_concurrency_sweep",
+]
 
 
 @dataclass
@@ -138,3 +146,27 @@ def run_concurrency(
 def run_concurrency_sweep(params: ConcurrencyParams) -> list[ConcurrencyCase]:
     """Fig. 5 / Fig. 7: sweep the number of concurrent SPT servers."""
     return [run_concurrency(params, n) for n in params.spt_counts]
+
+
+@register
+class ConcurrencyExperiment(Experiment):
+    """Figs. 5 and 7: one independent simulation per SPT count."""
+
+    id = "fig5"
+    aliases = ("fig7",)
+    title = "Fig. 5/7 ACT vs number of concurrent SPT servers"
+    params_cls = ConcurrencyParams
+
+    def points(self, params: ConcurrencyParams):
+        return [Point(f"spt{n}", {"n_spts": n}) for n in params.spt_counts]
+
+    def run_point(self, params: ConcurrencyParams, point: Point, seed: int):
+        return run_concurrency(params, point.kwargs["n_spts"])
+
+    def report(self, params, payload) -> None:
+        MS = 1e3
+        print(f"[{params.protocol}] ACT of SPTs with {params.n_lpts} LPTs:")
+        for case in payload:
+            print(f"  n_spt={case.n_spts:3d}  ACT={case.act * MS:9.2f}ms  "
+                  f"min={case.min_ct * MS:8.2f}ms  max={case.max_ct * MS:9.2f}ms  "
+                  f"spt_timeouts={case.spt_timeouts}")

@@ -15,6 +15,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.experiments.base import Experiment, Point
+from repro.experiments.registry import register
 from repro.experiments.scenarios import (
     ConnectionSet,
     ecn_threshold_for,
@@ -30,7 +32,12 @@ from repro.sim.kernel import Simulator
 from repro.sim.monitor import TimeSeries
 from repro.tcp.factory import default_config
 
-__all__ = ["FairnessParams", "FairnessResult", "run_fairness"]
+__all__ = [
+    "FairnessExperiment",
+    "FairnessParams",
+    "FairnessResult",
+    "run_fairness",
+]
 
 
 @dataclass
@@ -138,3 +145,27 @@ def run_fairness(params: FairnessParams) -> FairnessResult:
         plateau_shares=shares,
         timeouts=connections.total_timeouts,
     )
+
+
+@register
+class FairnessExperiment(Experiment):
+    """Fig. 10: a single staggered arrival/departure run."""
+
+    id = "fig10"
+    title = "Fig. 10 convergence and fairness"
+    params_cls = FairnessParams
+
+    def points(self, params: FairnessParams):
+        return [Point("run")]
+
+    def run_point(self, params: FairnessParams, point: Point, seed: int):
+        return run_fairness(params)
+
+    def reduce(self, params, points, results):
+        return results[0]
+
+    def report(self, params, payload) -> None:
+        r = payload
+        shares = [f"{s / 1e6:.0f}" for s in r.plateau_shares]
+        print(f"[{params.protocol}] Fig.10 plateau shares (Mbps): {shares}  "
+              f"Jain={r.plateau_fairness:.4f}  timeouts={r.timeouts}")

@@ -11,10 +11,13 @@ number of RTO events (Table I).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
+from typing import Sequence
 
 import numpy as np
 
+from repro.experiments.base import Experiment, Point
+from repro.experiments.registry import register
 from repro.experiments.scenarios import (
     ConnectionSet,
     ecn_threshold_for,
@@ -28,7 +31,12 @@ from repro.net.topology import build_fat_tree
 from repro.sim.kernel import Simulator
 from repro.tcp.factory import default_config
 
-__all__ = ["FatTreeParams", "FatTreeResult", "run_fattree"]
+__all__ = [
+    "FatTreeExperiment",
+    "FatTreeParams",
+    "FatTreeResult",
+    "run_fattree",
+]
 
 
 @dataclass
@@ -37,6 +45,9 @@ class FatTreeParams:
 
     protocol: str = "reno"
     k: int = 4  # pod count
+    #: pod counts swept by the registered experiment (``k`` is the
+    #: single-run entry point's knob; the sweep overrides it per point)
+    pod_counts: Sequence[int] = (4, 6, 8, 10)
     bandwidth_bps: float = 10e9
     delay_s: float = 10e-6
     buffer_pkts: int = 245  # 350 KB of 1460 B packets
@@ -56,7 +67,9 @@ class FatTreeParams:
     @classmethod
     def quick(cls, protocol: str = "reno", **overrides) -> "FatTreeParams":
         """Smaller transfers; same split structure and topology."""
-        defaults = dict(total_bytes=300_000, n_small=10, deadline=3.0)
+        defaults = dict(
+            pod_counts=(4, 6), total_bytes=300_000, n_small=10, deadline=3.0
+        )
         defaults.update(overrides)
         return cls(protocol=protocol, **defaults)
 
@@ -159,3 +172,29 @@ def run_fattree(params: FatTreeParams) -> FatTreeResult:
         total_timeouts=connections.total_timeouts,
         dropped_packets=topo.network.total_dropped(),
     )
+
+
+@register
+class FatTreeExperiment(Experiment):
+    """Fig. 12 / Table I: one fat-tree run per pod count."""
+
+    id = "fig12"
+    aliases = ("table1",)
+    title = "Fig. 12 / Table I fat-tree comparison"
+    params_cls = FatTreeParams
+
+    def points(self, params: FatTreeParams):
+        return [Point(f"k{k}", {"k": k}) for k in params.pod_counts]
+
+    def run_point(self, params: FatTreeParams, point: Point, seed: int):
+        return run_fattree(replace(params, k=point.kwargs["k"], seed=seed))
+
+    def report(self, params, payload) -> None:
+        MS = 1e3
+        print(f"[{params.protocol}] Fig.12 mean/max completion (ms) "
+              f"and Table I timeouts:")
+        for r in payload:
+            print(f"  pods={r.k:2d}  servers={r.n_servers:3d}  "
+                  f"big={r.big_mean_completion * MS:7.1f}"
+                  f"/{r.big_max_completion * MS:7.1f}ms  "
+                  f"timeouts={r.total_timeouts:5d}")

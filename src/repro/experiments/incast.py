@@ -17,6 +17,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
+from repro.experiments.base import Experiment, Point
+from repro.experiments.registry import register
 from repro.experiments.scenarios import (
     ConnectionSet,
     ecn_threshold_for,
@@ -28,7 +30,13 @@ from repro.net.topology import build_star
 from repro.sim.kernel import Simulator
 from repro.tcp.factory import default_config
 
-__all__ = ["IncastCase", "IncastParams", "run_incast", "run_incast_sweep"]
+__all__ = [
+    "IncastCase",
+    "IncastExperiment",
+    "IncastParams",
+    "run_incast",
+    "run_incast_sweep",
+]
 
 
 @dataclass
@@ -122,3 +130,28 @@ def run_incast(params: IncastParams, n_senders: int) -> IncastCase:
 def run_incast_sweep(params: IncastParams) -> list[IncastCase]:
     """Goodput versus fan-in (the classic incast collapse curve)."""
     return [run_incast(params, n) for n in params.sender_counts]
+
+
+@register
+class IncastExperiment(Experiment):
+    """Incast collapse: one independent simulation per fan-in."""
+
+    id = "incast"
+    title = "Incast goodput vs fan-in"
+    params_cls = IncastParams
+
+    def points(self, params: IncastParams):
+        return [Point(f"n{n}", {"n_senders": n}) for n in params.sender_counts]
+
+    def run_point(self, params: IncastParams, point: Point, seed: int):
+        return run_incast(params, point.kwargs["n_senders"])
+
+    def report(self, params, payload) -> None:
+        MS = 1e3
+        print(f"[{params.protocol}] incast goodput vs fan-in "
+              f"({params.block_bytes // 1024} KB blocks):")
+        for case in payload:
+            print(f"  n={case.n_senders:3d}  "
+                  f"goodput={case.goodput_bps / 1e6:7.1f} Mbps  "
+                  f"batch={case.batch_completion * MS:8.1f} ms  "
+                  f"timeouts={case.timeouts}")

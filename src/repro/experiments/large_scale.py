@@ -15,11 +15,13 @@ SPT size distribution.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Sequence
 
 import numpy as np
 
+from repro.experiments.base import Experiment, Point
+from repro.experiments.registry import register
 from repro.experiments.scenarios import (
     ConnectionSet,
     ecn_threshold_for,
@@ -35,7 +37,13 @@ from repro.net.topology import build_two_level_tree
 from repro.sim.kernel import Simulator
 from repro.tcp.factory import default_config
 
-__all__ = ["LargeScaleCase", "LargeScaleParams", "run_large_scale", "run_large_scale_sweep"]
+__all__ = [
+    "LargeScaleCase",
+    "LargeScaleExperiment",
+    "LargeScaleParams",
+    "run_large_scale",
+    "run_large_scale_sweep",
+]
 
 
 @dataclass
@@ -192,3 +200,71 @@ def _draw_offset(rng: np.random.Generator, distribution: str, window: float) -> 
         # Mean window/3 gives most arrivals early, truncated to the window.
         return min(float(rng.exponential(window / 3.0)), window)
     raise ValueError(f"unknown distribution {distribution!r}")
+
+
+@register
+class LargeScaleExperiment(Experiment):
+    """Fig. 8: one point per (switch count, repeat) pair.
+
+    The repeats of one sweep point are independent simulations, so they
+    fan out as separate points; :meth:`reduce` regroups them into one
+    :class:`LargeScaleCase` per switch count, exactly as the sequential
+    :func:`run_large_scale_sweep` does.
+    """
+
+    id = "fig8"
+    title = "Fig. 8 large-scale ACT of SPTs"
+    params_cls = LargeScaleParams
+
+    def points(self, params: LargeScaleParams):
+        return [
+            Point(f"sw{n}-r{r}", {"n_switches": n, "repeat": r})
+            for n in params.switch_counts
+            for r in range(params.repeats)
+        ]
+
+    def run_point(self, params: LargeScaleParams, point: Point, seed: int):
+        times, n_spts, timeouts = run_large_scale(
+            replace(params, seed=seed),
+            point.kwargs["n_switches"],
+            point.kwargs["repeat"],
+        )
+        return {"times": times, "n_spts": n_spts, "timeouts": timeouts}
+
+    def reduce(self, params, points, results):
+        cases = []
+        for n_switches in params.switch_counts:
+            all_times: list[float] = []
+            expected = 0
+            timeouts = 0
+            for point, result in zip(points, results):
+                if result is None or point.kwargs["n_switches"] != n_switches:
+                    continue
+                all_times.extend(result["times"])
+                expected += result["n_spts"]
+                timeouts += result["timeouts"]
+            if not expected:
+                continue
+            stats = summarize(all_times)
+            cases.append(
+                LargeScaleCase(
+                    n_switches=n_switches,
+                    n_servers=n_switches * params.servers_per_switch,
+                    act=stats.mean,
+                    max_ct=stats.maximum,
+                    completed=stats.count,
+                    expected=expected,
+                    timeouts=timeouts,
+                )
+            )
+        return cases
+
+    def report(self, params, payload) -> None:
+        MS = 1e3
+        print(f"[{params.protocol}] large-scale ACT of SPTs "
+              f"({params.distribution}):")
+        for case in payload:
+            print(f"  servers={case.n_servers:5d}  ACT={case.act * MS:9.2f}ms  "
+                  f"max={case.max_ct * MS:9.2f}ms  "
+                  f"completed={case.completed}/{case.expected}  "
+                  f"timeouts={case.timeouts}")

@@ -14,8 +14,10 @@ Run the same function with ``protocol="reno"`` for Fig. 4 and
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
+from repro.experiments.base import Experiment, Point
+from repro.experiments.registry import register
 from repro.experiments.scenarios import (
     ConnectionSet,
     ecn_threshold_for,
@@ -33,7 +35,12 @@ from repro.sim.monitor import TimeSeries
 from repro.sim.randomness import RandomStreams
 from repro.tcp.factory import default_config
 
-__all__ = ["MotivationParams", "MotivationResult", "run_motivation"]
+__all__ = [
+    "MotivationExperiment",
+    "MotivationParams",
+    "MotivationResult",
+    "run_motivation",
+]
 
 
 @dataclass
@@ -173,3 +180,38 @@ def run_motivation(params: MotivationParams) -> MotivationResult:
         inherited_cwnd=inherited,
     )
     return result
+
+
+@register
+class MotivationExperiment(Experiment):
+    """Figs. 4 and 6: one scenario run per protocol."""
+
+    id = "fig4"
+    aliases = ("fig6",)
+    title = "Fig. 4/6 motivation & impairment scenario"
+    params_cls = MotivationParams
+
+    def points(self, params: MotivationParams):
+        return [Point("run")]
+
+    def run_point(self, params: MotivationParams, point: Point, seed: int):
+        return run_motivation(replace(params, seed=seed))
+
+    def reduce(self, params, points, results):
+        return results[0]
+
+    def report(self, params, payload) -> None:
+        if payload is None:
+            print(f"[{params.protocol}] point failed")
+            return
+        MS = 1e3
+        r = payload
+        label = "Fig.4" if params.protocol == "reno" else "Fig.6"
+        print(f"{label} [{params.protocol}] "
+              f"timeouts/conn={r.timeouts_per_connection} "
+              f"drops={r.dropped_packets} peak_queue={r.peak_queue_pkts:.0f}pkt")
+        print(f"  inherited cwnd at LPT start: "
+              f"{[round(c) for c in r.inherited_cwnd]}")
+        print(f"  LPT completion (ms): "
+              f"{[round(t * MS, 1) for t in r.lpt_completion_times]}; "
+              f"all done at t={r.all_done_time:.3f}s")

@@ -12,6 +12,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.experiments.base import Experiment, Point
+from repro.experiments.registry import register
 from repro.experiments.scenarios import (
     ConnectionSet,
     ecn_threshold_for,
@@ -24,7 +26,12 @@ from repro.net.topology import build_multi_hop
 from repro.sim.kernel import Simulator
 from repro.tcp.factory import default_config
 
-__all__ = ["MultiHopParams", "MultiHopResult", "run_multihop"]
+__all__ = [
+    "MultiHopExperiment",
+    "MultiHopParams",
+    "MultiHopResult",
+    "run_multihop",
+]
 
 
 @dataclass
@@ -141,3 +148,28 @@ def run_multihop(params: MultiHopParams) -> MultiHopResult:
         timeouts=connections.total_timeouts,
         dropped_packets=topo.network.total_dropped(),
     )
+
+
+@register
+class MultiHopExperiment(Experiment):
+    """Fig. 11: a single two-bottleneck run per protocol."""
+
+    id = "fig11"
+    title = "Fig. 11 multi-hop, multi-bottleneck throughput"
+    params_cls = MultiHopParams
+
+    def points(self, params: MultiHopParams):
+        return [Point("run")]
+
+    def run_point(self, params: MultiHopParams, point: Point, seed: int):
+        return run_multihop(params)
+
+    def reduce(self, params, points, results):
+        return results[0]
+
+    def report(self, params, payload) -> None:
+        r = payload
+        print(f"[{params.protocol}] Fig.11 per-sender throughput: "
+              f"A={r.mean('a') / 1e6:6.1f}Mbps  B={r.mean('b') / 1e6:6.1f}Mbps  "
+              f"C={r.mean('c') / 1e6:6.1f}Mbps  "
+              f"timeouts={r.timeouts}  drops={r.dropped_packets}")

@@ -16,6 +16,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
+from repro.experiments.base import Experiment, Point
+from repro.experiments.registry import register
 from repro.experiments.scenarios import (
     ConnectionSet,
     ecn_threshold_for,
@@ -32,6 +34,7 @@ from repro.tcp.factory import default_config
 
 __all__ = [
     "PropertiesCase",
+    "PropertiesExperiment",
     "PropertiesParams",
     "run_properties_case",
     "run_properties_sweep",
@@ -52,6 +55,8 @@ class PropertiesParams:
     min_rto: float = 1e-3  # Fig. 9(b)-(d) pin RTO at 1 ms
     queue_period: float = 0.5e-3
     measure_from: float = 0.2  # steady-state window start
+    trace_trains: int = 5  # Fig. 9(a) runs five persistent LPTs
+    sweep_counts: Sequence[int] = (2, 4, 6, 8, 10)
 
     @classmethod
     def paper(cls, protocol: str = "reno", **overrides) -> "PropertiesParams":
@@ -157,3 +162,40 @@ def run_properties_sweep(
 ) -> list[PropertiesCase]:
     """Fig. 9(b)–(d): sweep the number of concurrent long trains."""
     return [run_properties_case(params, n) for n in counts]
+
+
+@register
+class PropertiesExperiment(Experiment):
+    """Fig. 9: the queue trace plus one point per train count."""
+
+    id = "fig9"
+    title = "Fig. 9 TCP-TRIM properties (queue, drops, goodput)"
+    params_cls = PropertiesParams
+
+    def points(self, params: PropertiesParams):
+        return [Point("trace")] + [
+            Point(f"n{n}", {"n_trains": n}) for n in params.sweep_counts
+        ]
+
+    def run_point(self, params: PropertiesParams, point: Point, seed: int):
+        if point.label == "trace":
+            return run_queue_trace(params, n_trains=params.trace_trains)
+        return run_properties_case(params, point.kwargs["n_trains"])
+
+    def reduce(self, params, points, results):
+        return {
+            "queue_trace": results[0],
+            "sweep": [r for r in results[1:] if r is not None],
+        }
+
+    def report(self, params, payload) -> None:
+        trace = payload["queue_trace"]
+        print(f"[{params.protocol}] Fig.9a queue with "
+              f"{params.trace_trains} LPTs: "
+              f"mean={trace.mean():6.1f}pkt  peak={trace.max():5.0f}pkt")
+        print(f"[{params.protocol}] Fig.9b-d sweep:")
+        for case in payload["sweep"]:
+            print(f"  n={case.n_trains:2d}  AQL={case.average_queue_pkts:6.1f}pkt  "
+                  f"drops={case.dropped_packets:6d}  "
+                  f"goodput={case.goodput_bps / 1e6:7.1f}Mbps "
+                  f"({case.utilization:.1%})")

@@ -1,0 +1,101 @@
+"""Experiment registry: figure ids to :class:`Experiment` instances.
+
+Experiment modules register themselves at import time::
+
+    @register
+    class ConcurrencyExperiment(Experiment):
+        id = "fig5"
+        aliases = ("fig7",)
+        ...
+
+and consumers resolve them by id::
+
+    from repro.experiments import registry
+    experiment = registry.get("fig8")
+
+Registration is what makes sweep points *dispatchable*: a worker
+process receives only ``(experiment_id, params, point, seed)`` and
+re-resolves the experiment on its side of the fork, so nothing
+unpicklable crosses the process boundary.
+"""
+
+from __future__ import annotations
+
+import importlib
+from typing import TYPE_CHECKING, Union
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.experiments.base import Experiment
+
+__all__ = ["canonical_ids", "get", "ids", "register"]
+
+#: modules that define and register experiments, imported lazily so the
+#: registry stays usable from a half-initialized worker process.
+_EXPERIMENT_MODULES = (
+    "repro.experiments.workload_figs",
+    "repro.experiments.motivation",
+    "repro.experiments.concurrency",
+    "repro.experiments.large_scale",
+    "repro.experiments.properties",
+    "repro.experiments.fairness",
+    "repro.experiments.multihop",
+    "repro.experiments.fattree",
+    "repro.experiments.testbed",
+    "repro.experiments.ablation",
+    "repro.experiments.incast",
+)
+
+_REGISTRY: dict[str, "Experiment"] = {}
+_ALIASES: dict[str, str] = {}
+_loaded = False
+
+
+def register(experiment: Union["Experiment", type]) -> Union["Experiment", type]:
+    """Register an experiment (usable as a class decorator).
+
+    Returns its argument so ``@register`` above a class definition
+    leaves the name bound to the class.
+    """
+    instance = experiment() if isinstance(experiment, type) else experiment
+    if not instance.id:
+        raise ValueError(f"experiment {instance!r} has no id")
+    if instance.id in _REGISTRY and type(_REGISTRY[instance.id]) is not type(instance):
+        raise ValueError(f"experiment id {instance.id!r} already registered")
+    _REGISTRY[instance.id] = instance
+    for alias in instance.aliases:
+        _ALIASES[alias] = instance.id
+    return experiment
+
+
+def _ensure_loaded() -> None:
+    global _loaded
+    if _loaded:
+        return
+    for module in _EXPERIMENT_MODULES:
+        importlib.import_module(module)
+    _loaded = True
+
+
+def get(experiment_id: str) -> "Experiment":
+    """Resolve an experiment by canonical id or alias."""
+    _ensure_loaded()
+    canonical = _ALIASES.get(experiment_id, experiment_id)
+    try:
+        return _REGISTRY[canonical]
+    except KeyError:
+        known = ", ".join(sorted(ids()))
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; known: {known}"
+        ) from None
+
+
+def canonical_ids() -> list[str]:
+    """Sorted canonical experiment ids (one per experiment)."""
+    _ensure_loaded()
+    return sorted(_REGISTRY)
+
+
+def ids() -> list[str]:
+    """Sorted resolvable ids: canonical ids plus aliases."""
+    _ensure_loaded()
+    return sorted(set(_REGISTRY) | set(_ALIASES))

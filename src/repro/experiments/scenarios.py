@@ -58,6 +58,12 @@ def run_until(
     while not predicate():
         if sim.now >= deadline:
             return False
+        if sim.peek_time() is None:
+            # The event heap is empty: no callback can ever flip the
+            # predicate, so jump straight to the deadline instead of
+            # busy-stepping in `step` increments until it.
+            sim.run(until=deadline)
+            return bool(predicate())
         sim.run(until=min(sim.now + step, deadline))
     return True
 
@@ -147,8 +153,8 @@ class ConnectionSet:
             self.protocol,
             self.sim,
             src_host,
-            flow_id,
             dst_host.node_id,
+            flow_id=flow_id,
             config=config,
             **kwargs,
         )

@@ -64,8 +64,14 @@ def save_results(
     payload: Any,
     preset: str = "quick",
     seed: int | None = None,
+    metadata: dict | None = None,
 ) -> Path:
-    """Write an experiment artifact; returns the path written."""
+    """Write an experiment artifact; returns the path written.
+
+    ``metadata`` records run provenance that is *not* part of the
+    measurement (worker count, cache hits); it never affects
+    ``results``, which stay bit-identical across run configurations.
+    """
     from repro import __version__
 
     path = Path(path)
@@ -76,6 +82,8 @@ def save_results(
         "repro_version": __version__,
         "results": to_jsonable(payload),
     }
+    if metadata:
+        document["metadata"] = to_jsonable(metadata)
     path.write_text(json.dumps(document, indent=1, sort_keys=True))
     return path
 

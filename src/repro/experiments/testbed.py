@@ -15,11 +15,13 @@ setups as simulator scenarios (see DESIGN.md's substitution table):
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Sequence
 
 import numpy as np
 
+from repro.experiments.base import Experiment, Point
+from repro.experiments.registry import register
 from repro.experiments.scenarios import (
     ConnectionSet,
     ecn_threshold_for,
@@ -37,7 +39,9 @@ from repro.tcp.factory import default_config
 
 __all__ = [
     "ArctCase",
+    "ArctExperiment",
     "ArctParams",
+    "WebServiceExperiment",
     "WebServiceParams",
     "WebServiceResult",
     "run_arct_sweep",
@@ -303,3 +307,64 @@ def run_web_service(params: WebServiceParams) -> WebServiceResult:
         arct=act(all_times),
         timeouts=connections.total_timeouts,
     )
+
+
+@register
+class ArctExperiment(Experiment):
+    """Fig. 13(a): one independent simulation per mean response size."""
+
+    id = "fig13a"
+    title = "Fig. 13(a) ARCT vs mean response size"
+    params_cls = ArctParams
+
+    def select_protocols(self, protocols):
+        # The testbed comparison is CUBIC (the Linux default) vs TRIM;
+        # ECN protocols are out of scope for Fig. 13(a).
+        selected = [p for p in protocols if p not in ("dctcp", "l2dct")]
+        if selected == ["reno", "trim"]:
+            selected = ["cubic", "trim"]
+        return selected
+
+    def points(self, params: ArctParams):
+        return [
+            Point(f"size{m}", {"mean_size": m}) for m in params.mean_sizes_bytes
+        ]
+
+    def run_point(self, params: ArctParams, point: Point, seed: int):
+        return _run_arct_case(
+            replace(params, seed=seed), point.kwargs["mean_size"]
+        )
+
+    def report(self, params, payload) -> None:
+        MS = 1e3
+        print(f"[{params.protocol}] Fig.13a ARCT vs mean response size:")
+        for case in payload:
+            print(f"  size={case.mean_size_bytes / 1024:7.0f}KB  "
+                  f"ARCT={case.arct * MS:9.2f}ms  max={case.max_ct * MS:9.2f}ms  "
+                  f"timeouts={case.timeouts}")
+
+
+@register
+class WebServiceExperiment(Experiment):
+    """Fig. 13(b)-(e): a single web-service run per protocol."""
+
+    id = "fig13be"
+    title = "Fig. 13(b)-(e) web-service response times"
+    params_cls = WebServiceParams
+
+    def points(self, params: WebServiceParams):
+        return [Point("run")]
+
+    def run_point(self, params: WebServiceParams, point: Point, seed: int):
+        return run_web_service(replace(params, seed=seed))
+
+    def reduce(self, params, points, results):
+        return results[0]
+
+    def report(self, params, payload) -> None:
+        MS = 1e3
+        r = payload
+        print(f"[{params.protocol}] Fig.13b-e web service: "
+              f"ARCT={r.arct * MS:7.2f}ms  p99={r.p99 * MS:7.2f}ms  "
+              f"64-256KB max={r.band_max * MS:7.2f}ms  "
+              f"<25ms: {r.fraction_under_threshold:.1%}  timeouts={r.timeouts}")

@@ -15,11 +15,18 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.experiments.base import Experiment, Point
+from repro.experiments.registry import register
 from repro.http.packet_train import PacketTrain, extract_trains, train_intervals
 from repro.http.workload import generate_onoff_schedule
 from repro.net.packet import MSS_BYTES
 
-__all__ = ["WorkloadFigures", "characterize_workload"]
+__all__ = [
+    "WorkloadExperiment",
+    "WorkloadFigures",
+    "WorkloadParams",
+    "characterize_workload",
+]
 
 
 @dataclass
@@ -79,3 +86,71 @@ def characterize_workload(
         trains=trains,
         gaps=train_intervals(trains),
     )
+
+
+@dataclass
+class WorkloadParams:
+    """Fig. 1/2 characterization parameters (no protocol involved)."""
+
+    seed: int = 1
+    duration: float = 10.0
+    line_rate_bps: float = 1e9
+    gap_rule: float = 150e-6
+
+    @classmethod
+    def paper(cls, **overrides) -> "WorkloadParams":
+        return cls(**overrides)
+
+    @classmethod
+    def quick(cls, **overrides) -> "WorkloadParams":
+        return cls(**overrides)
+
+
+@register
+class WorkloadExperiment(Experiment):
+    """Figs. 1 and 2: the workload → packets → trains round trip."""
+
+    id = "fig1"
+    aliases = ("fig2",)
+    title = "Fig. 1/2 workload characterization"
+    params_cls = WorkloadParams
+    uses_protocols = False
+
+    def points(self, params: WorkloadParams):
+        return [Point("workload")]
+
+    def run_point(self, params: WorkloadParams, point: Point, seed: int):
+        wl = characterize_workload(
+            seed=seed,
+            duration=params.duration,
+            line_rate_bps=params.line_rate_bps,
+            gap_rule=params.gap_rule,
+        )
+        return {
+            "n_trains": len(wl.trains),
+            "n_packets": len(wl.packet_times),
+            "n_long_trains": wl.n_long_trains,
+            "frac_le_4k": wl.size_fraction_below(4096),
+            "frac_le_128k": wl.size_fraction_below(131072),
+            "gap_min": min(wl.gaps) if wl.gaps else None,
+            "gap_max": max(wl.gaps) if wl.gaps else None,
+        }
+
+    def reduce(self, params, points, results):
+        return results[0]
+
+    def report(self, params, payload) -> None:
+        if payload is None:
+            print("Fig.1/2 workload: point failed")
+            return
+        MS = 1e3
+        print(f"Fig.1/2 workload: {payload['n_trains']} trains, "
+              f"{payload['n_packets']} packets")
+        print(f"  LPTs (>=128KB): {payload['n_long_trains']} "
+              f"({payload['n_long_trains'] / payload['n_trains']:.1%}, paper: ~10%)")
+        print(f"  trains <= 4KB: {payload['frac_le_4k']:.1%} (paper: <20%)")
+        print(f"  trains <= 128KB: {payload['frac_le_128k']:.1%} (paper: ~90%)")
+        if payload["gap_min"] is not None:
+            print(f"  inter-train gaps: {payload['gap_min'] * 1e6:.0f}us .. "
+                  f"{payload['gap_max'] * MS:.2f}ms "
+                  f"(paper: hundreds of us to several ms)")

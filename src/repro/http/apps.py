@@ -175,13 +175,13 @@ class HttpSession:
         self._next_flow_id = max(request_flow_id, response_flow_id) + 1
         if persistent:
             self.request_source = create_source(
-                "reno", sim, frontend, request_flow_id, server.node_id,
-                config=self._request_config,
+                "reno", sim, frontend, server.node_id,
+                flow_id=request_flow_id, config=self._request_config,
             )
             self.request_sink = TcpSink(sim, server, request_flow_id)
             self.response_source = create_source(
-                protocol, sim, server, response_flow_id, frontend.node_id,
-                config=config, **response_kwargs,
+                protocol, sim, server, frontend.node_id,
+                flow_id=response_flow_id, config=config, **response_kwargs,
             )
             self.response_sink = TcpSink(sim, frontend, response_flow_id)
         else:
@@ -198,13 +198,13 @@ class HttpSession:
         resp_id = self._next_flow_id + 1
         self._next_flow_id += 2
         request_source = create_source(
-            "reno", self.sim, self.frontend, req_id, self.server.node_id,
-            config=self._request_config,
+            "reno", self.sim, self.frontend, self.server.node_id,
+            flow_id=req_id, config=self._request_config,
         )
         TcpSink(self.sim, self.server, req_id)
         response_source = create_source(
-            self.protocol, self.sim, self.server, resp_id,
-            self.frontend.node_id, config=self._config,
+            self.protocol, self.sim, self.server, self.frontend.node_id,
+            flow_id=resp_id, config=self._config,
             **self._response_kwargs,
         )
         TcpSink(self.sim, self.frontend, resp_id)

@@ -1,0 +1,36 @@
+"""Parallel sweep execution for experiments.
+
+The runner fans the independent points of an :class:`~repro.experiments.base.Experiment`
+out to a process pool, with:
+
+* deterministic per-point seeds (results are identical for any worker
+  count — see :func:`repro.sim.randomness.derive_seed`);
+* a content-addressed on-disk result cache keyed on package version,
+  experiment id, params, point, and seed, so re-runs of unchanged
+  points are free;
+* per-point timeout and retry with graceful degradation to a partial
+  result set;
+* a progress/ETA reporter.
+
+Typical use::
+
+    from repro.experiments import registry
+    from repro.runner import ResultCache, SweepRunner
+
+    experiment = registry.get("fig8")
+    params = experiment.make_params("quick", "trim")
+    runner = SweepRunner(jobs=4, cache=ResultCache("~/.cache/repro-experiments"))
+    payload = runner.run(experiment, params, seed=1)
+"""
+
+from repro.runner.cache import ResultCache
+from repro.runner.engine import PointFailure, SweepRunner, SweepStats
+from repro.runner.progress import ProgressReporter
+
+__all__ = [
+    "PointFailure",
+    "ProgressReporter",
+    "ResultCache",
+    "SweepRunner",
+    "SweepStats",
+]

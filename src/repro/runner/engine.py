@@ -1,0 +1,299 @@
+"""The sweep-execution engine.
+
+:class:`SweepRunner` takes ``(experiment, params)`` tasks, enumerates
+their :class:`~repro.experiments.base.Point` lists, and resolves every
+point — from the cache when possible, inline for serial runs, or on a
+:class:`~concurrent.futures.ProcessPoolExecutor` otherwise — then folds
+the per-point results back through each experiment's ``reduce``.
+
+Determinism contract: each point's seed is derived from the root seed
+and the point's ``"<experiment id>/<label>"`` name alone
+(:func:`repro.sim.randomness.derive_seed`), and results are collected
+by point index rather than completion order.  A sweep therefore
+produces bit-identical payloads for any worker count, and protocol
+variants of the same experiment see matched per-point draws (the same
+scenario randomness under every protocol, as the paper's comparisons
+require).
+
+Failure contract: a point that keeps raising after ``retries``
+re-submissions (or times out) degrades to a ``None`` result; ``reduce``
+receives the partial result set and the failures are recorded on
+:attr:`SweepRunner.last_stats`.  A timed-out point's worker cannot be
+forcibly killed — the retry simply runs concurrently with the straggler
+and the straggler's eventual result is discarded.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import time
+import warnings
+from dataclasses import dataclass, field
+from typing import Any, Optional, Sequence
+
+from repro.runner.cache import ResultCache
+from repro.runner.progress import ProgressReporter
+from repro.sim.randomness import derive_seed
+
+__all__ = ["PointFailure", "SweepRunner", "SweepStats"]
+
+
+def _execute_point(experiment_id: str, params: Any, point: Any, seed: int) -> Any:
+    """Worker entry: re-resolve the experiment by id and run one point.
+
+    Only ``(experiment_id, params, point, seed)`` crosses the process
+    boundary, so experiments never need to be picklable themselves —
+    but they must be *registered* (importable via
+    :mod:`repro.experiments.registry`) to run on a pool.
+    """
+    from repro.experiments import registry
+
+    return registry.get(experiment_id).run_point(params, point, seed)
+
+
+@dataclass
+class PointFailure:
+    """A point that produced no result after all attempts."""
+
+    experiment_id: str
+    label: str
+    error: str
+    attempts: int
+
+
+@dataclass
+class SweepStats:
+    """Bookkeeping for the last :meth:`SweepRunner.run_many` call."""
+
+    total_points: int = 0
+    executed: int = 0
+    cache_hits: int = 0
+    failures: list[PointFailure] = field(default_factory=list)
+    elapsed: float = 0.0
+
+
+class _Entry:
+    """One point's dispatch record inside a run."""
+
+    __slots__ = (
+        "task_index", "point_index", "experiment", "params", "point",
+        "seed", "cache_key",
+    )
+
+    def __init__(self, task_index, point_index, experiment, params, point, seed):
+        self.task_index = task_index
+        self.point_index = point_index
+        self.experiment = experiment
+        self.params = params
+        self.point = point
+        self.seed = seed
+        self.cache_key: Optional[str] = None
+
+
+class SweepRunner:
+    """Fan independent sweep points out to processes, cached and seeded.
+
+    Parameters
+    ----------
+    jobs:
+        Worker processes.  ``1`` (default) runs points inline in this
+        process — bit-identical to any parallel run, and the mode to
+        use under a debugger.
+    cache:
+        A :class:`~repro.runner.cache.ResultCache`, or None to disable
+        caching.  Only successful results are cached; a re-run of an
+        unchanged (version, params, point, seed) tuple is free.
+    timeout:
+        Seconds to wait for one point's result before retrying/failing
+        it, or None to wait forever.  Enforced only on pool runs.
+    retries:
+        Re-submissions after a point raises or times out.
+    progress:
+        True to print per-point progress/ETA lines to stderr, or a
+        :class:`~repro.runner.progress.ProgressReporter` to customize.
+    """
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        cache: Optional[ResultCache] = None,
+        timeout: Optional[float] = None,
+        retries: int = 1,
+        progress: Any = False,
+        label: str = "sweep",
+    ) -> None:
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        if timeout is not None and timeout <= 0:
+            raise ValueError("timeout must be positive (or None)")
+        self.jobs = int(jobs)
+        self.cache = cache
+        self.timeout = timeout
+        self.retries = max(0, int(retries))
+        if isinstance(progress, ProgressReporter):
+            self._reporter: Optional[ProgressReporter] = progress
+        elif progress:
+            self._reporter = ProgressReporter(label)
+        else:
+            self._reporter = None
+        self.last_stats: Optional[SweepStats] = None
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def run(self, experiment: Any, params: Any, *, seed: int = 0) -> Any:
+        """Run one experiment's sweep and return its reduced payload."""
+        return self.run_many([(experiment, params)], seed=seed)[0]
+
+    def run_many(
+        self, tasks: Sequence[tuple[Any, Any]], *, seed: int = 0
+    ) -> list[Any]:
+        """Run several sweeps as one flat dispatch; payloads in order.
+
+        Points from every task share the worker pool, so e.g. the
+        protocols of one figure (or several figures of an ``all`` run)
+        parallelize against each other, not just within a sweep.
+        """
+        started = time.perf_counter()
+        stats = SweepStats()
+        all_points: list[list[Any]] = []
+        results: list[list[Any]] = []
+        entries: list[_Entry] = []
+        for task_index, (experiment, params) in enumerate(tasks):
+            points = list(experiment.points(params))
+            labels = [p.label for p in points]
+            if len(set(labels)) != len(labels):
+                raise ValueError(
+                    f"{experiment.id}: duplicate point labels in sweep"
+                )
+            all_points.append(points)
+            results.append([None] * len(points))
+            for point_index, point in enumerate(points):
+                point_seed = derive_seed(seed, f"{experiment.id}/{point.label}")
+                entries.append(
+                    _Entry(task_index, point_index, experiment, params,
+                           point, point_seed)
+                )
+        stats.total_points = len(entries)
+        if self._reporter is not None:
+            self._reporter.start(len(entries))
+
+        pending: list[_Entry] = []
+        for entry in entries:
+            if self.cache is not None:
+                entry.cache_key = self.cache.key(
+                    entry.experiment.id, entry.params, entry.point, entry.seed
+                )
+                hit = self.cache.get(entry.cache_key)
+                if hit is not None:
+                    results[entry.task_index][entry.point_index] = hit
+                    stats.cache_hits += 1
+                    self._point_done(entry, cached=True)
+                    continue
+            pending.append(entry)
+
+        if pending:
+            if self.jobs == 1 or len(pending) == 1:
+                self._run_inline(pending, results, stats)
+            else:
+                self._run_pool(pending, results, stats)
+
+        stats.elapsed = time.perf_counter() - started
+        if self._reporter is not None:
+            self._reporter.finish()
+        self.last_stats = stats
+        if stats.failures:
+            warnings.warn(
+                f"{len(stats.failures)} sweep point(s) failed; "
+                "payloads reduce a partial result set",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+        return [
+            experiment.reduce(params, points, task_results)
+            for (experiment, params), points, task_results in zip(
+                tasks, all_points, results
+            )
+        ]
+
+    # ------------------------------------------------------------------
+    # Resolution paths
+    # ------------------------------------------------------------------
+    def _record(self, entry: _Entry, value: Any, results, stats) -> None:
+        results[entry.task_index][entry.point_index] = value
+        stats.executed += 1
+        if self.cache is not None and entry.cache_key is not None and value is not None:
+            self.cache.put(entry.cache_key, value)
+        self._point_done(entry)
+
+    def _fail(self, entry: _Entry, error: str, attempts: int, stats) -> None:
+        stats.failures.append(
+            PointFailure(entry.experiment.id, entry.point.label, error, attempts)
+        )
+        self._point_done(entry, failed=True)
+
+    def _point_done(self, entry: _Entry, cached=False, failed=False) -> None:
+        if self._reporter is not None:
+            self._reporter.point_done(entry.point.label, cached=cached, failed=failed)
+
+    def _run_inline(self, pending, results, stats) -> None:
+        for entry in pending:
+            attempts = 0
+            while True:
+                attempts += 1
+                try:
+                    value = entry.experiment.run_point(
+                        entry.params, entry.point, entry.seed
+                    )
+                except Exception as exc:  # noqa: BLE001 - degrade, don't die
+                    if attempts > self.retries:
+                        self._fail(
+                            entry, f"{type(exc).__name__}: {exc}", attempts, stats
+                        )
+                        break
+                    continue
+                self._record(entry, value, results, stats)
+                break
+
+    def _run_pool(self, pending, results, stats) -> None:
+        max_workers = min(self.jobs, len(pending))
+        with concurrent.futures.ProcessPoolExecutor(max_workers=max_workers) as pool:
+            futures = {
+                id(entry): pool.submit(
+                    _execute_point, entry.experiment.id, entry.params,
+                    entry.point, entry.seed,
+                )
+                for entry in pending
+            }
+            for entry in pending:
+                attempts = 0
+                while True:
+                    attempts += 1
+                    future = futures[id(entry)]
+                    error = None
+                    try:
+                        value = future.result(timeout=self.timeout)
+                    except concurrent.futures.TimeoutError:
+                        future.cancel()
+                        error = f"timed out after {self.timeout}s"
+                    except Exception as exc:  # noqa: BLE001
+                        error = f"{type(exc).__name__}: {exc}"
+                    if error is None:
+                        self._record(entry, value, results, stats)
+                        break
+                    if attempts > self.retries:
+                        self._fail(entry, error, attempts, stats)
+                        break
+                    try:
+                        futures[id(entry)] = pool.submit(
+                            _execute_point, entry.experiment.id, entry.params,
+                            entry.point, entry.seed,
+                        )
+                    except Exception as exc:  # pool broken beyond repair
+                        self._fail(
+                            entry,
+                            f"retry submission failed: {type(exc).__name__}: {exc}",
+                            attempts,
+                            stats,
+                        )
+                        break

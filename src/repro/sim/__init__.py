@@ -8,7 +8,7 @@ scheduler (:mod:`repro.sim.kernel`), seeded random-number streams
 
 from repro.sim.kernel import Event, SimulationError, Simulator
 from repro.sim.monitor import PeriodicSampler, TimeSeries, rate_series
-from repro.sim.randomness import RandomStreams
+from repro.sim.randomness import RandomStreams, derive_seed
 
 __all__ = [
     "Event",
@@ -17,5 +17,6 @@ __all__ = [
     "SimulationError",
     "Simulator",
     "TimeSeries",
+    "derive_seed",
     "rate_series",
 ]

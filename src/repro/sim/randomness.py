@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["RandomStreams"]
+__all__ = ["RandomStreams", "derive_seed"]
 
 
 class RandomStreams:
@@ -42,6 +42,30 @@ class RandomStreams:
             )
             self._streams[name] = np.random.Generator(np.random.PCG64(child))
         return self._streams[name]
+
+    def spawn_seed(self, name: str) -> int:
+        """An integer seed for ``name``, independent of every stream.
+
+        Sweep runners use this to hand each dispatched point its own
+        deterministic seed: the value depends only on the root seed and
+        the name, never on process, worker count, or call order.
+        """
+        return derive_seed(self.seed, name)
+
+
+def derive_seed(root_seed: int, name: str) -> int:
+    """Derive a deterministic integer seed for ``name`` from ``root_seed``.
+
+    Uses the same :class:`numpy.random.SeedSequence` spawning scheme as
+    :class:`RandomStreams`, so derived seeds are statistically
+    independent of each other and of any named stream.  The result is a
+    non-negative 63-bit integer, stable across processes and platforms.
+    """
+    child = np.random.SeedSequence(
+        entropy=root_seed, spawn_key=(_stable_hash(name),)
+    )
+    low, high = (int(w) for w in child.generate_state(2, dtype=np.uint32))
+    return (low | (high << 32)) & 0x7FFFFFFFFFFFFFFF
 
 
 def _stable_hash(name: str) -> int:

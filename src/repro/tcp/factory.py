@@ -82,12 +82,19 @@ def create_source(
     protocol: str,
     sim: Simulator,
     host: Host,
-    flow_id: int,
     dst_id: int,
+    *,
+    flow_id: int = 1,
     config: Optional[TcpConfig] = None,
     **source_kwargs,
 ) -> TcpSource:
-    """Instantiate a sender of the requested protocol on ``host``."""
+    """Instantiate a sender of the requested protocol on ``host``.
+
+    Signature convention (shared with :func:`make_connection`):
+    protocol first, then the simulator and endpoints, then keyword-only
+    ``flow_id``/``config`` and protocol extras such as TCP-TRIM's
+    ``capacity_pps``/``base_rtt``.
+    """
     cls = source_class(protocol)
     if config is None:
         config = default_config(protocol)
@@ -99,17 +106,23 @@ def make_connection(
     sim: Simulator,
     src_host: Host,
     dst_host: Host,
-    flow_id: int,
+    *,
+    flow_id: int = 1,
     config: Optional[TcpConfig] = None,
     **source_kwargs,
 ) -> tuple[TcpSource, TcpSink]:
-    """Wire a source on ``src_host`` to a fresh sink on ``dst_host``."""
+    """Wire a source on ``src_host`` to a fresh sink on ``dst_host``.
+
+    Same signature convention as :func:`create_source`: protocol, then
+    sim and hosts, then keyword-only ``flow_id``/``config`` and
+    protocol extras (``capacity_pps=``, ``base_rtt=``...).
+    """
     source = create_source(
         protocol,
         sim,
         src_host,
-        flow_id,
         dst_host.node_id,
+        flow_id=flow_id,
         config=config,
         **source_kwargs,
     )

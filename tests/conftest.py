@@ -1,0 +1,15 @@
+"""Shared test fixtures."""
+
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def _isolated_sweep_cache(tmp_path, monkeypatch):
+    """Point the sweep result cache at a per-test directory.
+
+    CLI invocations in tests would otherwise share (and populate) the
+    user-wide cache, making runs order-dependent and leaving files
+    behind.  ``default_cache_dir`` reads the variable per call, so
+    setting it here is enough.
+    """
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "sweep-cache"))

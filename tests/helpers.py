@@ -50,8 +50,8 @@ def make_pair(
         protocol,
         sim,
         star.servers[0],
+        star.frontend.node_id,
         flow_id=1,
-        dst_id=star.frontend.node_id,
         config=config,
         **source_kwargs,
     )

@@ -126,3 +126,35 @@ class TestRunUntil:
         sim.run()
         with pytest.raises(ValueError):
             run_until(sim, lambda: True, deadline=0.5)
+
+
+class TestRunUntilEarlyExit:
+    """Regression: an empty event heap must not be busy-stepped."""
+
+    def test_empty_heap_jumps_to_deadline(self):
+        sim = Simulator()
+        calls = []
+
+        def predicate():
+            calls.append(sim.now)
+            return False
+
+        assert not run_until(sim, predicate, deadline=10.0, step=0.05)
+        assert sim.now == pytest.approx(10.0)
+        # one check on entry, one after the jump — not one per `step`
+        assert len(calls) == 2
+
+    def test_heap_draining_mid_run_still_exits_early(self):
+        sim = Simulator()
+        flag = []
+        sim.schedule(0.2, lambda: None)  # heap drains at 0.2
+
+        assert not run_until(sim, lambda: bool(flag), deadline=50.0, step=0.05)
+        assert sim.now == pytest.approx(50.0)
+
+    def test_predicate_flipped_by_last_event_is_seen(self):
+        sim = Simulator()
+        flag = []
+        sim.schedule(0.3, lambda: flag.append(1))
+        assert run_until(sim, lambda: bool(flag), deadline=50.0, step=0.05)
+        assert sim.now < 1.0
