@@ -32,7 +32,15 @@ from repro.net import (
     build_two_level_tree,
 )
 from repro.runner import ResultCache, SweepRunner
-from repro.sim import RandomStreams, Simulator, derive_seed
+from repro.sim import (
+    InvariantMonitor,
+    InvariantViolation,
+    Kernel,
+    RandomStreams,
+    Simulator,
+    derive_seed,
+    seeded_rng,
+)
 from repro.tcp import (
     PROTOCOLS,
     Message,
@@ -66,6 +74,9 @@ def experiment_ids() -> list[str]:
 
 __all__ = [
     "Experiment",
+    "InvariantMonitor",
+    "InvariantViolation",
+    "Kernel",
     "Message",
     "Network",
     "PROTOCOLS",
@@ -85,6 +96,7 @@ __all__ = [
     "build_two_level_tree",
     "create_source",
     "derive_seed",
+    "seeded_rng",
     "experiment_ids",
     "get_experiment",
     "k_threshold",

@@ -138,6 +138,9 @@ class TrimSource(TcpSource):
         # while a loaded path, where no ACK returns in time at all,
         # still fails fast after one smooth_RTT.
         deadline = self.smooth_rtt.value
+        # Probes are only sent after at least one ACK has seeded the
+        # smoothed RTT, so the estimator always has a value here.
+        assert deadline is not None
         self._probe_deadline = self.sim.schedule(deadline, self._on_probe_deadline)
 
     def _on_probe_deadline(self) -> None:

@@ -18,6 +18,7 @@ prints rows shaped like the paper's figure/table.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 
@@ -89,11 +90,23 @@ def main(argv: list[str] | None = None) -> int:
         help="print per-point progress/ETA lines to stderr",
     )
     parser.add_argument(
+        "--check-invariants",
+        action="store_true",
+        help="enable runtime invariant checks (monotonic event time, "
+        "per-queue packet conservation, protocol-state sanity) in every "
+        "simulation, including sweep worker processes",
+    )
+    parser.add_argument(
         "--output",
         default=None,
         help="write a JSON artifact of the measured results to this path",
     )
     args = parser.parse_args(argv)
+    if args.check_invariants:
+        # The environment is the one channel every Simulator sees —
+        # including those built inside sweep worker processes, which
+        # inherit it across the fork/spawn boundary.
+        os.environ["REPRO_CHECK_INVARIANTS"] = "1"
     args.protocols = [p.strip() for p in args.protocols.split(",") if p.strip()]
     if args.jobs < 1:
         parser.error("--jobs must be >= 1")

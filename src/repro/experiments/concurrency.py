@@ -163,6 +163,10 @@ class ConcurrencyExperiment(Experiment):
     def run_point(self, params: ConcurrencyParams, point: Point, seed: int):
         return run_concurrency(params, point.kwargs["n_spts"])
 
+    def reduce(self, params, points, results):
+        """One ConcurrencyCase per SPT count, in sweep order."""
+        return [r for r in results if r is not None]
+
     def report(self, params, payload) -> None:
         MS = 1e3
         print(f"[{params.protocol}] ACT of SPTs with {params.n_lpts} LPTs:")

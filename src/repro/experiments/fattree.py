@@ -14,8 +14,6 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import Sequence
 
-import numpy as np
-
 from repro.experiments.base import Experiment, Point
 from repro.experiments.registry import register
 from repro.experiments.scenarios import (
@@ -29,6 +27,7 @@ from repro.http.workload import gap_sampler
 from repro.metrics.stats import summarize
 from repro.net.topology import build_fat_tree
 from repro.sim.kernel import Simulator
+from repro.sim.randomness import seeded_rng
 from repro.tcp.factory import default_config
 
 __all__ = [
@@ -96,7 +95,7 @@ class FatTreeResult:
 def run_fattree(params: FatTreeParams) -> FatTreeResult:
     """Run one (protocol, pod-count) cell of Fig. 12 / Table I."""
     sim = Simulator()
-    rng = np.random.default_rng((params.seed, params.k))
+    rng = seeded_rng(params.seed, params.k)
     topo = build_fat_tree(
         sim,
         params.k,
@@ -188,6 +187,10 @@ class FatTreeExperiment(Experiment):
 
     def run_point(self, params: FatTreeParams, point: Point, seed: int):
         return run_fattree(replace(params, k=point.kwargs["k"], seed=seed))
+
+    def reduce(self, params, points, results):
+        """One FatTreeResult per pod count, in sweep order."""
+        return [r for r in results if r is not None]
 
     def report(self, params, payload) -> None:
         MS = 1e3

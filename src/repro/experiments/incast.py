@@ -146,6 +146,10 @@ class IncastExperiment(Experiment):
     def run_point(self, params: IncastParams, point: Point, seed: int):
         return run_incast(params, point.kwargs["n_senders"])
 
+    def reduce(self, params, points, results):
+        """One IncastCase per fan-in, in sweep order."""
+        return [r for r in results if r is not None]
+
     def report(self, params, payload) -> None:
         MS = 1e3
         print(f"[{params.protocol}] incast goodput vs fan-in "

@@ -35,6 +35,7 @@ from repro.http.workload import pt_size_sampler, segments_for_bytes
 from repro.metrics.stats import completion_times, summarize
 from repro.net.topology import build_two_level_tree
 from repro.sim.kernel import Simulator
+from repro.sim.randomness import seeded_rng
 from repro.tcp.factory import default_config
 
 __all__ = [
@@ -105,7 +106,7 @@ def run_large_scale(
 ) -> tuple[list[float], int, int]:
     """One run: returns (SPT completion times, SPT count, timeouts)."""
     sim = Simulator()
-    rng = np.random.default_rng((params.seed, n_switches, repeat_index))
+    rng = seeded_rng(params.seed, n_switches, repeat_index)
     topo = build_two_level_tree(
         sim,
         n_switches,

@@ -18,8 +18,6 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import Sequence
 
-import numpy as np
-
 from repro.experiments.base import Experiment, Point
 from repro.experiments.registry import register
 from repro.experiments.scenarios import (
@@ -35,6 +33,7 @@ from repro.http.workload import generate_onoff_schedule
 from repro.metrics.stats import act, completion_times, percentile
 from repro.net.topology import build_star
 from repro.sim.kernel import Simulator
+from repro.sim.randomness import seeded_rng
 from repro.tcp.factory import default_config
 
 __all__ = [
@@ -113,7 +112,7 @@ def run_arct_sweep(params: ArctParams) -> list[ArctCase]:
 
 def _run_arct_case(params: ArctParams, mean_size: int) -> ArctCase:
     sim = Simulator()
-    rng = np.random.default_rng((params.seed, mean_size))
+    rng = seeded_rng(params.seed, mean_size)
     star = build_star(
         sim,
         params.n_background + 1,
@@ -229,7 +228,7 @@ class WebServiceResult:
 def run_web_service(params: WebServiceParams) -> WebServiceResult:
     """Fig. 13(b)–(e): thousands of Fig. 2-distributed responses."""
     sim = Simulator()
-    rng = np.random.default_rng(params.seed)
+    rng = seeded_rng(params.seed)
     star = build_star(
         sim,
         params.n_servers,
@@ -334,6 +333,10 @@ class ArctExperiment(Experiment):
         return _run_arct_case(
             replace(params, seed=seed), point.kwargs["mean_size"]
         )
+
+    def reduce(self, params, points, results):
+        """One ArctCase per mean response size, in sweep order."""
+        return [r for r in results if r is not None]
 
     def report(self, params, payload) -> None:
         MS = 1e3

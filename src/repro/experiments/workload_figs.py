@@ -13,13 +13,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
-
 from repro.experiments.base import Experiment, Point
 from repro.experiments.registry import register
 from repro.http.packet_train import PacketTrain, extract_trains, train_intervals
 from repro.http.workload import generate_onoff_schedule
 from repro.net.packet import MSS_BYTES
+from repro.sim.randomness import seeded_rng
 
 __all__ = [
     "WorkloadExperiment",
@@ -63,7 +62,7 @@ def characterize_workload(
     sit between the per-packet serialization time and the smallest OFF
     gap of the generator (the paper uses the smoothed RTT).
     """
-    rng = np.random.default_rng(seed)
+    rng = seeded_rng(seed)
     events = generate_onoff_schedule(
         rng, duration=duration, drain_rate_bps=line_rate_bps
     )

@@ -1,0 +1,38 @@
+"""simlint — AST-based simulator-correctness linter.
+
+Run it with ``python -m repro.lint [paths...]`` (defaults to the
+installed ``repro`` package).  Rules enforce the invariants every
+reproduced figure rests on: deterministic replay (SIM001/SIM002),
+precision-safe time handling (SIM003), state isolation between sweep
+points (SIM004/SIM005), kernel discipline (SIM006), and the Experiment
+sweep contract (SIM007).  Suppress a deliberate violation with a
+``# simlint: disable=SIM00x`` comment plus a justification.
+
+The runtime complement — packet-conservation and protocol-state checks
+while a simulation executes — lives in :mod:`repro.sim.invariants` and
+is enabled with ``Simulator(check_invariants=True)`` or the CLI's
+``--check-invariants`` flag.
+"""
+
+from repro.lint import rules as _rules  # registers the rule set on import
+from repro.lint.core import (
+    Finding,
+    ModuleContext,
+    Rule,
+    all_rules,
+    lint_paths,
+    lint_source,
+    register_rule,
+)
+
+del _rules
+
+__all__ = [
+    "Finding",
+    "ModuleContext",
+    "Rule",
+    "all_rules",
+    "lint_paths",
+    "lint_source",
+    "register_rule",
+]

@@ -1,0 +1,69 @@
+"""simlint command line.
+
+Usage::
+
+    python -m repro.lint                 # lint the installed repro package
+    python -m repro.lint src/repro       # lint a source tree
+    python -m repro.lint --list-rules    # show every rule id and summary
+    python -m repro.lint --select SIM001,SIM004 src/repro
+
+Exit status is the number of findings capped at 1 — nonzero means the
+tree is not clean, which is what CI keys on.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.lint.core import all_rules, lint_paths
+
+
+def _default_target() -> str:
+    import repro
+
+    return str(Path(repro.__file__).parent)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description="AST-based simulator-correctness linter for repro.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (default: the repro package)",
+    )
+    parser.add_argument(
+        "--select",
+        default=None,
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="list rules and exit"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.id}  {rule.summary}")
+        return 0
+
+    select = None
+    if args.select:
+        select = [part.strip().upper() for part in args.select.split(",") if part.strip()]
+    paths = args.paths or [_default_target()]
+    findings = lint_paths(paths, select=select)
+    for finding in findings:
+        print(finding.render())
+    if findings:
+        print(f"simlint: {len(findings)} finding(s)")
+        return 1
+    print("simlint: no findings")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,214 @@
+"""simlint framework: findings, the rule registry, and the file walker.
+
+A *rule* is a class with an ``id`` (``SIM001``...), a one-line
+``summary`` of the invariant it protects, a ``fixit`` hint shown with
+every finding, and a :meth:`Rule.check` generator that yields
+:class:`Finding` records for one parsed module.  Rules register
+themselves with the :func:`register_rule` decorator; the CLI and the
+test suite discover them through :func:`all_rules`.
+
+Suppression is per line: a trailing ``# simlint: disable=SIM003``
+comment silences the named rule(s) on that physical line (comma-
+separate several ids, or use ``disable=all``).  Suppressions are meant
+to be rare and always paired with a justification comment.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path, PurePosixPath
+from typing import Iterable, Iterator, Sequence
+
+__all__ = [
+    "Finding",
+    "ModuleContext",
+    "Rule",
+    "all_rules",
+    "dotted_name",
+    "lint_paths",
+    "lint_source",
+    "register_rule",
+]
+
+_SUPPRESS_RE = re.compile(r"#\s*simlint:\s*disable=([A-Za-z0-9_,\s]+)")
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at a source location."""
+
+    path: str
+    line: int
+    col: int
+    rule_id: str
+    message: str
+    fixit: str = field(compare=False, default="")
+
+    def render(self) -> str:
+        text = f"{self.path}:{self.line}:{self.col}: {self.rule_id} {self.message}"
+        if self.fixit:
+            text += f"\n    fix: {self.fixit}"
+        return text
+
+
+class ModuleContext:
+    """A parsed module plus everything rules need to inspect it."""
+
+    def __init__(self, path: str, source: str) -> None:
+        #: posix-normalized path; rules match roles on it ("/tcp/"...)
+        self.path = PurePosixPath(path).as_posix()
+        self.source = source
+        self.tree = ast.parse(source, filename=path)
+        self.lines = source.splitlines()
+        self._suppressed = self._parse_suppressions()
+        #: local name -> fully dotted module/object it was imported as,
+        #: e.g. ``np`` -> ``numpy``, ``datetime`` -> ``datetime.datetime``
+        #: for ``from datetime import datetime``.
+        self.import_aliases = self._collect_import_aliases()
+
+    # ------------------------------------------------------------------
+    def _parse_suppressions(self) -> dict[int, frozenset[str]]:
+        table: dict[int, frozenset[str]] = {}
+        for lineno, line in enumerate(self.lines, start=1):
+            match = _SUPPRESS_RE.search(line)
+            if not match:
+                continue
+            ids = frozenset(
+                part.strip().upper()
+                for part in match.group(1).split(",")
+                if part.strip()
+            )
+            table[lineno] = table.get(lineno, frozenset()) | ids
+            # A comment-only suppression line covers the statement that
+            # starts on the next line (the justified-comment idiom).
+            if line.lstrip().startswith("#"):
+                table[lineno + 1] = table.get(lineno + 1, frozenset()) | ids
+        return table
+
+    def _collect_import_aliases(self) -> dict[str, str]:
+        aliases: dict[str, str] = {}
+        for node in ast.walk(self.tree):
+            if isinstance(node, ast.Import):
+                for name in node.names:
+                    local = name.asname or name.name.split(".")[0]
+                    target = name.name if name.asname else name.name.split(".")[0]
+                    aliases[local] = target
+            elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+                for name in node.names:
+                    if name.name == "*":
+                        continue
+                    local = name.asname or name.name
+                    aliases[local] = f"{node.module}.{name.name}"
+        return aliases
+
+    # ------------------------------------------------------------------
+    def suppressed(self, lineno: int, rule_id: str) -> bool:
+        ids = self._suppressed.get(lineno)
+        if ids is None:
+            return False
+        return rule_id.upper() in ids or "ALL" in ids
+
+    def resolve(self, node: ast.expr) -> str:
+        """The fully dotted name behind an expression, import-resolved.
+
+        ``np.random.default_rng`` resolves to
+        ``numpy.random.default_rng`` when the module did ``import numpy
+        as np``; unresolvable expressions give ``""``.
+        """
+        chain = dotted_name(node)
+        if not chain:
+            return ""
+        root, _, rest = chain.partition(".")
+        resolved_root = self.import_aliases.get(root, root)
+        return f"{resolved_root}.{rest}" if rest else resolved_root
+
+    def finding(
+        self, node: ast.AST, rule: "Rule", message: str
+    ) -> Iterator[Finding]:
+        """Yield a finding for ``node`` unless its line suppresses it."""
+        lineno = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0)
+        if not self.suppressed(lineno, rule.id):
+            yield Finding(self.path, lineno, col, rule.id, message, rule.fixit)
+
+
+def dotted_name(node: ast.expr) -> str:
+    """``a.b.c`` for a Name/Attribute chain; ``""`` for anything else."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return ""
+
+
+class Rule:
+    """Base class for simlint rules.  Subclass and :func:`register_rule`."""
+
+    id: str = ""
+    summary: str = ""
+    fixit: str = ""
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Rule {self.id}: {self.summary}>"
+
+
+_RULES: dict[str, type[Rule]] = {}
+
+
+def register_rule(cls: type[Rule]) -> type[Rule]:
+    """Class decorator adding ``cls`` to the global rule registry."""
+    if not cls.id:
+        raise ValueError(f"rule {cls.__name__} has no id")
+    if cls.id in _RULES:
+        raise ValueError(f"duplicate rule id {cls.id}")
+    _RULES[cls.id] = cls
+    return cls
+
+
+def all_rules() -> list[Rule]:
+    """Fresh instances of every registered rule, ordered by id."""
+    return [_RULES[rule_id]() for rule_id in sorted(_RULES)]
+
+
+def lint_source(
+    source: str, path: str = "<string>", select: Sequence[str] | None = None
+) -> list[Finding]:
+    """Lint one module given as a string; the unit the tests drive."""
+    module = ModuleContext(path, source)
+    findings: list[Finding] = []
+    for rule in all_rules():
+        if select is not None and rule.id not in select:
+            continue
+        findings.extend(rule.check(module))
+    return sorted(findings)
+
+
+def iter_python_files(paths: Iterable[str]) -> Iterator[Path]:
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            yield from sorted(
+                p for p in path.rglob("*.py") if "__pycache__" not in p.parts
+            )
+        else:
+            yield path
+
+
+def lint_paths(
+    paths: Iterable[str], select: Sequence[str] | None = None
+) -> list[Finding]:
+    """Lint every ``.py`` file under ``paths`` (files or directories)."""
+    findings: list[Finding] = []
+    for file in iter_python_files(paths):
+        findings.extend(
+            lint_source(file.read_text(encoding="utf-8"), str(file), select)
+        )
+    return sorted(findings)

@@ -1,0 +1,392 @@
+"""The simlint rule set.
+
+Each rule protects an invariant the reproduction's credibility rests
+on — deterministic replay, conservation-friendly component wiring, or
+the Experiment sweep contract.  See CONTRIBUTING.md for the one-line
+"what it protects" table and how to add a rule.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.core import (
+    Finding,
+    ModuleContext,
+    Rule,
+    dotted_name,
+    register_rule,
+)
+
+__all__ = [
+    "ExperimentContractRule",
+    "HandlerReentrancyRule",
+    "ModuleMutableStateRule",
+    "MutableDefaultRule",
+    "TimeEqualityRule",
+    "UnseededRandomnessRule",
+    "WallClockRule",
+]
+
+#: the one module allowed to construct generators and read entropy —
+#: everything else must draw from repro.sim.randomness streams/helpers.
+RANDOMNESS_HOME = "sim/randomness.py"
+
+
+def _is_randomness_home(path: str) -> bool:
+    return path.endswith(RANDOMNESS_HOME)
+
+
+@register_rule
+class UnseededRandomnessRule(Rule):
+    """All randomness must flow through ``repro.sim.randomness``."""
+
+    id = "SIM001"
+    summary = "randomness outside sim/randomness.py breaks deterministic replay"
+    fixit = (
+        "draw from a RandomStreams stream or seeded_rng()/derive_seed() "
+        "in repro.sim.randomness instead of constructing generators here"
+    )
+
+    #: numpy.random entry points that mint or reseed generator state.
+    FORBIDDEN_NP_CALLS = frozenset(
+        {
+            "default_rng",
+            "seed",
+            "RandomState",
+            "Generator",
+            "PCG64",
+            "PCG64DXSM",
+            "MT19937",
+            "Philox",
+            "SFC64",
+            # module-level convenience draws (global hidden state):
+            "random",
+            "rand",
+            "randn",
+            "randint",
+            "choice",
+            "shuffle",
+            "permutation",
+            "uniform",
+            "normal",
+            "exponential",
+            "poisson",
+            "binomial",
+        }
+    )
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        if _is_randomness_home(module.path):
+            return
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                for name in node.names:
+                    if name.name == "random" or name.name.startswith("random."):
+                        yield from module.finding(
+                            node,
+                            self,
+                            "import of the stdlib 'random' module "
+                            "(process-global, seed-order-dependent state)",
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "random" and node.level == 0:
+                    yield from module.finding(
+                        node,
+                        self,
+                        "import from the stdlib 'random' module "
+                        "(process-global, seed-order-dependent state)",
+                    )
+            elif isinstance(node, ast.Call):
+                name = module.resolve(node.func)
+                if name.startswith("numpy.random."):
+                    tail = name.rsplit(".", 1)[1]
+                    if tail in self.FORBIDDEN_NP_CALLS:
+                        yield from module.finding(
+                            node,
+                            self,
+                            f"call to {name}() constructs generator state "
+                            "outside sim/randomness.py",
+                        )
+
+
+@register_rule
+class WallClockRule(Rule):
+    """Simulation code must never read the wall clock."""
+
+    id = "SIM002"
+    summary = "wall-clock reads make runs irreproducible"
+    fixit = (
+        "use the simulator clock (sim.now); for host-side elapsed-time "
+        "display use time.perf_counter(), which this rule permits"
+    )
+
+    FORBIDDEN = frozenset(
+        {
+            "time.time",
+            "time.time_ns",
+            "time.localtime",
+            "time.gmtime",
+            "time.ctime",
+            "datetime.datetime.now",
+            "datetime.datetime.utcnow",
+            "datetime.datetime.today",
+            "datetime.date.today",
+        }
+    )
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        if _is_randomness_home(module.path):
+            return
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Call):
+                name = module.resolve(node.func)
+                if name in self.FORBIDDEN:
+                    yield from module.finding(
+                        node, self, f"wall-clock read via {name}()"
+                    )
+
+
+@register_rule
+class TimeEqualityRule(Rule):
+    """No exact float equality on simulation timestamps."""
+
+    id = "SIM003"
+    summary = "float ==/!= on simulation time is precision-fragile"
+    fixit = (
+        "compare with an ordering (<, <=) or an explicit tolerance "
+        "(math.isclose); exact float tie-breaks need a justified "
+        "'# simlint: disable=SIM003'"
+    )
+
+    TIME_NAMES = frozenset({"now", "time", "sim_time", "timestamp"})
+
+    @classmethod
+    def _is_time_like(cls, node: ast.expr) -> bool:
+        if isinstance(node, ast.Attribute):
+            ident = node.attr
+        elif isinstance(node, ast.Name):
+            ident = node.id
+        else:
+            return False
+        return ident in cls.TIME_NAMES or ident.endswith("_time")
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left, *node.comparators]
+            for op, left, right in zip(node.ops, operands, operands[1:]):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                # `x.time == None`-style identity checks are not float
+                # comparisons; only flag when neither side is a constant
+                # None and at least one side is time-like.
+                if any(
+                    isinstance(side, ast.Constant) and side.value is None
+                    for side in (left, right)
+                ):
+                    continue
+                if self._is_time_like(left) or self._is_time_like(right):
+                    yield from module.finding(
+                        node,
+                        self,
+                        "exact float comparison on a simulation-time value",
+                    )
+                    break
+
+
+@register_rule
+class MutableDefaultRule(Rule):
+    """No mutable default arguments."""
+
+    id = "SIM004"
+    summary = "mutable defaults alias state across calls (and sweep points)"
+    fixit = (
+        "default to None and create the container inside the function, "
+        "or use dataclasses.field(default_factory=...)"
+    )
+
+    MUTABLE_CALLS = frozenset({"list", "dict", "set", "bytearray", "defaultdict", "deque"})
+
+    def _is_mutable(self, node: ast.expr) -> bool:
+        if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.SetComp, ast.DictComp)):
+            return True
+        if isinstance(node, ast.Call):
+            name = dotted_name(node.func)
+            return name.rsplit(".", 1)[-1] in self.MUTABLE_CALLS
+        return False
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                continue
+            args = node.args
+            for default in [*args.defaults, *args.kw_defaults]:
+                if default is not None and self._is_mutable(default):
+                    name = getattr(node, "name", "<lambda>")
+                    yield from module.finding(
+                        default,
+                        self,
+                        f"mutable default argument in {name}()",
+                    )
+
+
+@register_rule
+class ModuleMutableStateRule(Rule):
+    """No module-level mutable containers in tcp/ and net/.
+
+    Protocol and network modules are imported once per worker process;
+    module-level mutable state leaks between sweep points executed in
+    the same worker, silently coupling "independent" simulations.
+    """
+
+    id = "SIM005"
+    summary = "module-level mutable state in tcp//net/ couples sweep points"
+    fixit = (
+        "move the state onto an instance created per simulation, or make "
+        "it an immutable tuple/frozenset/Mapping; a deliberate registry "
+        "needs a justified '# simlint: disable=SIM005'"
+    )
+
+    SCOPED_DIRS = ("/tcp/", "/net/")
+    MUTABLE_CALLS = frozenset({"list", "dict", "set", "bytearray", "defaultdict", "deque", "OrderedDict", "Counter"})
+
+    def _applies(self, path: str) -> bool:
+        return any(part in f"/{path}" for part in self.SCOPED_DIRS)
+
+    def _is_mutable(self, node: ast.expr) -> bool:
+        if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.SetComp, ast.DictComp)):
+            return True
+        if isinstance(node, ast.Call):
+            name = dotted_name(node.func)
+            return name.rsplit(".", 1)[-1] in self.MUTABLE_CALLS
+        return False
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        if not self._applies(module.path):
+            return
+        for node in module.tree.body:
+            if isinstance(node, ast.Assign):
+                targets, value = node.targets, node.value
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                targets, value = [node.target], node.value
+            else:
+                continue
+            for target in targets:
+                if not isinstance(target, ast.Name):
+                    continue
+                name = target.id
+                if name.startswith("__") and name.endswith("__"):
+                    continue  # __all__ and friends: convention, not state
+                if self._is_mutable(value):
+                    yield from module.finding(
+                        node,
+                        self,
+                        f"module-level mutable container {name!r} in a "
+                        "protocol/network module",
+                    )
+
+
+@register_rule
+class HandlerReentrancyRule(Rule):
+    """Scheduled event handlers must not re-enter the kernel run loop.
+
+    A function handed to ``schedule``/``schedule_at`` executes *inside*
+    ``Simulator.run``; calling ``run``/``run_until``/``step`` from it
+    re-enters the event loop and corrupts the clock (the kernel raises
+    at runtime — this catches it before any simulation is spent).
+    """
+
+    id = "SIM006"
+    summary = "event handlers re-entering kernel.run*/step corrupt the clock"
+    fixit = (
+        "handlers only schedule further events; run()/run_until()/step() "
+        "belong to the top-level driver that owns the simulator"
+    )
+
+    RUN_METHODS = frozenset({"run", "run_until", "step"})
+    KERNEL_RECEIVERS = frozenset({"sim", "kernel", "simulator"})
+
+    @staticmethod
+    def _callback_names(tree: ast.Module) -> set[str]:
+        """Names of functions referenced as schedule() callbacks."""
+        names: set[str] = set()
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func_name = dotted_name(node.func)
+            if func_name.rsplit(".", 1)[-1] not in ("schedule", "schedule_at"):
+                continue
+            for arg in node.args[1:2]:  # the callback slot
+                if isinstance(arg, ast.Attribute):
+                    names.add(arg.attr)
+                elif isinstance(arg, ast.Name):
+                    names.add(arg.id)
+        return names
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        callbacks = self._callback_names(module.tree)
+        if not callbacks:
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if node.name not in callbacks:
+                continue
+            for call in ast.walk(node):
+                if not isinstance(call, ast.Call):
+                    continue
+                chain = dotted_name(call.func).split(".")
+                if (
+                    len(chain) >= 2
+                    and chain[-1] in self.RUN_METHODS
+                    and chain[-2] in self.KERNEL_RECEIVERS
+                ):
+                    yield from module.finding(
+                        call,
+                        self,
+                        f"event handler {node.name}() calls "
+                        f"{'.'.join(chain)}() — kernel re-entry",
+                    )
+
+
+@register_rule
+class ExperimentContractRule(Rule):
+    """Experiment subclasses must implement the full sweep contract."""
+
+    id = "SIM007"
+    summary = "Experiment subclasses must define points/run_point/reduce"
+    fixit = (
+        "implement points() (enumerate the sweep), run_point() (execute "
+        "one seeded point), and reduce() (fold results into the figure "
+        "payload) explicitly — implicit inheritance hides contract drift"
+    )
+
+    REQUIRED = ("points", "run_point", "reduce")
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            if node.name == "Experiment":
+                continue  # the abstract base itself
+            base_names = {
+                dotted_name(base).rsplit(".", 1)[-1] for base in node.bases
+            }
+            if "Experiment" not in base_names:
+                continue
+            defined = {
+                item.name
+                for item in node.body
+                if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
+            }
+            missing = [name for name in self.REQUIRED if name not in defined]
+            if missing:
+                yield from module.finding(
+                    node,
+                    self,
+                    f"Experiment subclass {node.name} does not define "
+                    f"{', '.join(missing)}",
+                )

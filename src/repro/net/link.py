@@ -67,6 +67,9 @@ class Link:
         self.name = name or f"{src_node.name}->{dst_node.name}"
         self.stats = LinkStats()
         self._busy = False
+        invariants = getattr(sim, "invariants", None)
+        if invariants is not None:
+            invariants.register_queue(queue, name=self.name)
         # Optional per-delivery hook, e.g. goodput monitors:
         self.on_deliver: Optional[Callable[[Packet], None]] = None
 

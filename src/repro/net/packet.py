@@ -9,7 +9,6 @@ probe bookkeeping.
 
 from __future__ import annotations
 
-from typing import Optional
 
 MSS_BYTES = 1460
 """Data segment payload size used throughout the paper's experiments."""

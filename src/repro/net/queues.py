@@ -13,12 +13,11 @@ against it), with an optional mark-instead-of-drop ECN mode.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Optional
 
-import numpy as np
-
 from repro.net.packet import Packet
+from repro.sim.randomness import seeded_rng
 
 __all__ = ["DropTailQueue", "EcnQueue", "QueueStats", "RedQueue"]
 
@@ -162,7 +161,7 @@ class RedQueue(DropTailQueue):
         self.avg = 0.0
         self._count = -1
         self._idle_since: Optional[float] = 0.0
-        self._rng = np.random.Generator(np.random.PCG64(seed))
+        self._rng = seeded_rng(seed)
         #: the caller (link) advances this clock via tick(); kept
         #: explicit so the queue stays independent of the simulator.
         self.now = 0.0

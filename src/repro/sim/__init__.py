@@ -6,12 +6,16 @@ scheduler (:mod:`repro.sim.kernel`), seeded random-number streams
 (:mod:`repro.sim.monitor`).
 """
 
-from repro.sim.kernel import Event, SimulationError, Simulator
+from repro.sim.invariants import InvariantMonitor, InvariantViolation
+from repro.sim.kernel import Event, Kernel, SimulationError, Simulator
 from repro.sim.monitor import PeriodicSampler, TimeSeries, rate_series
-from repro.sim.randomness import RandomStreams, derive_seed
+from repro.sim.randomness import RandomStreams, derive_seed, seeded_rng
 
 __all__ = [
     "Event",
+    "InvariantMonitor",
+    "InvariantViolation",
+    "Kernel",
     "PeriodicSampler",
     "RandomStreams",
     "SimulationError",
@@ -19,4 +23,5 @@ __all__ = [
     "TimeSeries",
     "derive_seed",
     "rate_series",
+    "seeded_rng",
 ]

@@ -9,9 +9,9 @@ windowed throughput, mirroring NS2's queue monitors.
 
 from __future__ import annotations
 
-from typing import Callable, Optional, Sequence
+from typing import Callable, Iterator, Optional, Sequence
 
-from repro.sim.kernel import Simulator
+from repro.sim.kernel import Event, Simulator
 
 __all__ = ["PeriodicSampler", "TimeSeries"]
 
@@ -31,7 +31,7 @@ class TimeSeries:
     def __len__(self) -> int:
         return len(self.times)
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[tuple[float, float]]:
         return iter(zip(self.times, self.values))
 
     def last(self) -> tuple[float, float]:
@@ -96,7 +96,7 @@ class PeriodicSampler:
         self.period = period
         self.probe = probe
         self.series = TimeSeries(name)
-        self._event = None
+        self._event: Optional[Event] = None
         self._stopped = False
 
     def start(self, at: Optional[float] = None) -> "PeriodicSampler":

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["RandomStreams", "derive_seed"]
+__all__ = ["RandomStreams", "derive_seed", "seeded_rng"]
 
 
 class RandomStreams:
@@ -66,6 +66,23 @@ def derive_seed(root_seed: int, name: str) -> int:
     )
     low, high = (int(w) for w in child.generate_state(2, dtype=np.uint32))
     return (low | (high << 32)) & 0x7FFFFFFFFFFFFFFF
+
+
+def seeded_rng(*entropy: int) -> np.random.Generator:
+    """A PCG64 generator seeded from explicit integer entropy.
+
+    The single blessed way to build a standalone generator outside the
+    named-stream machinery (simlint's SIM001 forbids constructing one
+    anywhere else).  Bit-identical to ``np.random.default_rng(entropy)``
+    — both feed a :class:`numpy.random.SeedSequence` into PCG64 — so
+    migrating a call site never perturbs recorded results.  Pass every
+    coordinate that distinguishes the draw site (root seed, sweep
+    coordinates, repeat index) so no two points share a stream.
+    """
+    if not entropy:
+        raise ValueError("seeded_rng needs at least one entropy integer")
+    seed = entropy[0] if len(entropy) == 1 else entropy
+    return np.random.Generator(np.random.PCG64(np.random.SeedSequence(seed)))
 
 
 def _stable_hash(name: str) -> int:

@@ -27,7 +27,7 @@ paper's completion-time metrics measure.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Optional
 
 from repro.net.node import Host
@@ -168,6 +168,9 @@ class TcpSource:
         self._next_message_id = 0
         #: optional experiment hook fired on every RTO expiry
         self.on_timeout: Optional[Callable[["TcpSource"], None]] = None
+        self._invariants = getattr(sim, "invariants", None)
+        if self._invariants is not None:
+            self._invariants.register_flow(self)
 
     # ------------------------------------------------------------------
     # Application interface
@@ -297,6 +300,8 @@ class TcpSource:
             self.stats.retransmits += 1
         self.max_seq_sent = max(self.max_seq_sent, seq)
         self.last_send_time = self.sim.now
+        if self._invariants is not None:
+            self._invariants.on_flow_send(self)
         self.host.send(pkt)
         if self._rtx_event is None:
             self._set_rtx_timer()
@@ -652,19 +657,16 @@ class TcpSink:
             self.app_read_segments += 1
             self._schedule_drain()
 
-    def _sack_blocks(self, max_blocks: int = 3) -> tuple:
+    def _sack_blocks(self, max_blocks: int = 3) -> tuple[tuple[int, int], ...]:
         """Contiguous ``(start, end_exclusive)`` runs of buffered data
         above the cumulative ACK — the SACK option (highest runs first,
         at most ``max_blocks``)."""
         if not self._out_of_order:
             return ()
-        runs = []
-        run_start = None
-        prev = None
-        for seq in sorted(self._out_of_order):
-            if run_start is None:
-                run_start = prev = seq
-                continue
+        ordered = sorted(self._out_of_order)
+        runs: list[tuple[int, int]] = []
+        run_start = prev = ordered[0]
+        for seq in ordered[1:]:
             if seq == prev + 1:
                 prev = seq
                 continue

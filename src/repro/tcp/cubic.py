@@ -8,7 +8,7 @@ fast convergence.  Slow start below ``ssthresh`` is unchanged.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Any, Optional
 
 from repro.net.packet import Packet
 from repro.tcp.base import TcpSource
@@ -25,7 +25,7 @@ class CubicSource(TcpSource):
     BETA = 0.7
     FAST_CONVERGENCE = True
 
-    def __init__(self, *args, **kwargs) -> None:
+    def __init__(self, *args: Any, **kwargs: Any) -> None:
         super().__init__(*args, **kwargs)
         self.w_max: float = 0.0
         self._epoch_start: Optional[float] = None

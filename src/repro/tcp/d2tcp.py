@@ -13,7 +13,7 @@ behave exactly like DCTCP (d = 1).
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Any, Optional
 
 from repro.net.packet import Packet
 from repro.tcp.dctcp import DctcpSource
@@ -29,7 +29,9 @@ class D2tcpSource(DctcpSource):
     D_MIN = 0.5
     D_MAX = 2.0
 
-    def __init__(self, *args, deadline: Optional[float] = None, **kwargs) -> None:
+    def __init__(
+        self, *args: Any, deadline: Optional[float] = None, **kwargs: Any
+    ) -> None:
         super().__init__(*args, **kwargs)
         if deadline is not None and deadline <= 0:
             raise ValueError("deadline must be positive (absolute sim time)")

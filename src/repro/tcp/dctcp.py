@@ -15,6 +15,8 @@ paper holds against DCTCP (switch ECN support), which TCP-TRIM avoids.
 
 from __future__ import annotations
 
+from typing import Any
+
 from repro.net.packet import Packet
 from repro.tcp.base import TcpConfig, TcpSource
 
@@ -28,7 +30,7 @@ class DctcpSource(TcpSource):
 
     G = 1.0 / 16.0  # alpha estimation gain, per the DCTCP paper
 
-    def __init__(self, *args, **kwargs) -> None:
+    def __init__(self, *args: Any, **kwargs: Any) -> None:
         config = kwargs.get("config")
         if config is None:
             # ECN capability is mandatory for DCTCP.

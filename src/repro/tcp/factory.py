@@ -8,7 +8,7 @@ import between the substrate and the contribution.
 
 from __future__ import annotations
 
-from typing import Optional, Type
+from typing import Any, Optional, Type
 
 from repro.net.node import Host
 from repro.sim.kernel import Simulator
@@ -30,6 +30,10 @@ __all__ = [
     "source_class",
 ]
 
+# A deliberate module-level registry: it maps names to *classes* (no
+# per-simulation state), and its only mutation is the idempotent lazy
+# registration of TrimSource below, which breaks the substrate↔core
+# import cycle.  # simlint: disable=SIM005
 PROTOCOLS: dict[str, Type[TcpSource]] = {
     "reno": RenoSource,
     "cubic": CubicSource,
@@ -63,7 +67,7 @@ def source_class(protocol: str) -> Type[TcpSource]:
         raise ValueError(f"unknown protocol {protocol!r}; known: {known}") from None
 
 
-def default_config(protocol: str, **overrides) -> TcpConfig:
+def default_config(protocol: str, **overrides: Any) -> TcpConfig:
     """A TcpConfig suited to ``protocol``.
 
     ECN protocols get ECT set; CUBIC models Linux and therefore gets
@@ -86,7 +90,7 @@ def create_source(
     *,
     flow_id: int = 1,
     config: Optional[TcpConfig] = None,
-    **source_kwargs,
+    **source_kwargs: Any,
 ) -> TcpSource:
     """Instantiate a sender of the requested protocol on ``host``.
 
@@ -109,7 +113,7 @@ def make_connection(
     *,
     flow_id: int = 1,
     config: Optional[TcpConfig] = None,
-    **source_kwargs,
+    **source_kwargs: Any,
 ) -> tuple[TcpSource, TcpSink]:
     """Wire a source on ``src_host`` to a fresh sink on ``dst_host``.
 

@@ -11,6 +11,8 @@ ablation baseline for the probe mechanism.
 
 from __future__ import annotations
 
+from typing import Any
+
 from repro.net.packet import Packet
 from repro.tcp.base import TcpSource
 from repro.tcp.rtt import EwmaRtt
@@ -25,7 +27,7 @@ class GipSource(TcpSource):
 
     SMOOTH_ALPHA = 0.25
 
-    def __init__(self, *args, **kwargs) -> None:
+    def __init__(self, *args: Any, **kwargs: Any) -> None:
         super().__init__(*args, **kwargs)
         self.smooth_rtt = EwmaRtt(self.SMOOTH_ALPHA)
 

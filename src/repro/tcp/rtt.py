@@ -72,13 +72,15 @@ class RttEstimator:
         if rtt < 0:
             raise ValueError(f"negative RTT sample {rtt!r}")
         self.latest_sample = rtt
-        if self.srtt is None:
-            self.srtt = rtt
+        srtt = self.srtt
+        if srtt is None:
+            srtt = rtt
             self.rttvar = rtt / 2.0
         else:
-            self.rttvar = (1 - self.beta) * self.rttvar + self.beta * abs(self.srtt - rtt)
-            self.srtt = (1 - self.alpha) * self.srtt + self.alpha * rtt
-        self._base_rto = self.srtt + self.k * self.rttvar
+            self.rttvar = (1 - self.beta) * self.rttvar + self.beta * abs(srtt - rtt)
+            srtt = (1 - self.alpha) * srtt + self.alpha * rtt
+        self.srtt = srtt
+        self._base_rto = srtt + self.k * self.rttvar
         self.backoff_factor = 1.0  # fresh sample resets exponential backoff
 
     def backoff(self) -> None:

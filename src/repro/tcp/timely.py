@@ -20,7 +20,7 @@ blind as Reno's.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Any, Optional
 
 from repro.net.packet import Packet
 from repro.tcp.base import TcpSource
@@ -45,10 +45,10 @@ class TimelySource(TcpSource):
 
     def __init__(
         self,
-        *args,
+        *args: Any,
         t_low: Optional[float] = None,
         t_high: Optional[float] = None,
-        **kwargs,
+        **kwargs: Any,
     ) -> None:
         super().__init__(*args, **kwargs)
         if t_low is not None and t_high is not None and t_low >= t_high:

@@ -15,6 +15,8 @@ probe mechanism's contribution.
 
 from __future__ import annotations
 
+from typing import Any
+
 from repro.net.packet import Packet
 from repro.tcp.base import TcpSource
 
@@ -30,7 +32,7 @@ class VegasSource(TcpSource):
     BETA = 3.0  # packets queued: upper bound
     GAMMA = 1.0  # slow-start exit threshold
 
-    def __init__(self, *args, **kwargs) -> None:
+    def __init__(self, *args: Any, **kwargs: Any) -> None:
         super().__init__(*args, **kwargs)
         self.base_rtt: float = float("inf")
         self._epoch_end: int = 0

@@ -1,0 +1,272 @@
+"""simlint: a positive and a negative fixture per rule, plus the CLI.
+
+Every rule gets at least one snippet it must flag and one adjacent
+snippet it must leave alone (the false-positive guard).  The suite ends
+with the self-check: the shipped ``src/repro`` tree lints clean.
+"""
+
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.lint import Finding, all_rules, lint_paths, lint_source
+from repro.lint.__main__ import main as lint_main
+
+
+def rule_ids(findings):
+    return sorted({f.rule_id for f in findings})
+
+
+class TestFramework:
+    def test_all_rules_registered_and_ordered(self):
+        rules = all_rules()
+        ids = [r.id for r in rules]
+        assert ids == sorted(ids)
+        assert ids == [f"SIM{n:03d}" for n in range(1, 8)]
+        for rule in rules:
+            assert rule.summary and rule.fixit
+
+    def test_finding_render_includes_fixit(self):
+        finding = Finding("a.py", 3, 0, "SIM001", "boom", fixit="use seeded_rng")
+        text = finding.render()
+        assert "a.py:3:0: SIM001 boom" in text
+        assert "use seeded_rng" in text
+
+    def test_select_restricts_rules(self):
+        src = "import random\ndef f(x=[]):\n    return x\n"
+        assert rule_ids(lint_source(src)) == ["SIM001", "SIM004"]
+        assert rule_ids(lint_source(src, select=["SIM004"])) == ["SIM004"]
+
+
+class TestSuppression:
+    def test_trailing_comment_suppresses(self):
+        src = "import random  # simlint: disable=SIM001\n"
+        assert lint_source(src) == []
+
+    def test_preceding_comment_line_suppresses_next_line(self):
+        src = (
+            "# The tie-break must be exact here; see Event.__lt__.\n"
+            "# simlint: disable=SIM003\n"
+            "ok = a.time == b.time\n"
+        )
+        assert lint_source(src) == []
+
+    def test_disable_all(self):
+        src = "import random  # simlint: disable=all\n"
+        assert lint_source(src) == []
+
+    def test_suppression_is_per_line(self):
+        src = (
+            "import random  # simlint: disable=SIM001\n"
+            "import random\n"
+        )
+        findings = lint_source(src)
+        assert [f.line for f in findings] == [2]
+
+    def test_wrong_id_does_not_suppress(self):
+        src = "import random  # simlint: disable=SIM002\n"
+        assert rule_ids(lint_source(src)) == ["SIM001"]
+
+
+class TestSim001Randomness:
+    def test_flags_stdlib_random_import(self):
+        assert rule_ids(lint_source("import random\n")) == ["SIM001"]
+        assert rule_ids(lint_source("from random import choice\n")) == ["SIM001"]
+
+    def test_flags_numpy_generator_construction_through_alias(self):
+        src = "import numpy as np\nrng = np.random.default_rng(7)\n"
+        findings = lint_source(src)
+        assert rule_ids(findings) == ["SIM001"]
+        assert findings[0].line == 2
+
+    def test_flags_global_numpy_draws(self):
+        src = "import numpy\nx = numpy.random.uniform(0, 1)\n"
+        assert rule_ids(lint_source(src)) == ["SIM001"]
+
+    def test_allows_seeded_rng_helper(self):
+        src = (
+            "from repro.sim.randomness import seeded_rng\n"
+            "rng = seeded_rng(7)\n"
+            "x = rng.uniform(0, 1)\n"
+        )
+        assert lint_source(src) == []
+
+    def test_randomness_home_is_exempt(self):
+        src = "import numpy as np\nrng = np.random.default_rng(7)\n"
+        assert lint_source(src, path="repro/sim/randomness.py") == []
+
+    def test_generator_annotation_is_not_a_call(self):
+        src = (
+            "import numpy as np\n"
+            "def f(rng: np.random.Generator) -> float:\n"
+            "    return float(rng.uniform())\n"
+        )
+        assert lint_source(src) == []
+
+
+class TestSim002WallClock:
+    def test_flags_time_time(self):
+        src = "import time\nt = time.time()\n"
+        assert rule_ids(lint_source(src)) == ["SIM002"]
+
+    def test_flags_datetime_now_through_from_import(self):
+        src = "from datetime import datetime\nt = datetime.now()\n"
+        assert rule_ids(lint_source(src)) == ["SIM002"]
+
+    def test_perf_counter_is_permitted(self):
+        src = "import time\nt = time.perf_counter()\n"
+        assert lint_source(src) == []
+
+
+class TestSim003TimeEquality:
+    def test_flags_equality_on_time_attributes(self):
+        src = "def same(a, b):\n    return a.time == b.time\n"
+        assert rule_ids(lint_source(src)) == ["SIM003"]
+
+    def test_flags_inequality_on_time_suffix(self):
+        src = "def f(m, t):\n    return m.finish_time != t\n"
+        assert rule_ids(lint_source(src)) == ["SIM003"]
+
+    def test_ordering_comparisons_are_fine(self):
+        src = "def f(a, b):\n    return a.time <= b.time\n"
+        assert lint_source(src) == []
+
+    def test_none_checks_are_fine(self):
+        src = (
+            "def f(m):\n"
+            "    return m.finish_time is not None and m.finish_time == None\n"
+        )
+        assert lint_source(src) == []
+
+
+class TestSim004MutableDefault:
+    def test_flags_literal_list_default(self):
+        src = "def f(x=[]):\n    return x\n"
+        assert rule_ids(lint_source(src)) == ["SIM004"]
+
+    def test_flags_dict_call_and_kwonly_default(self):
+        src = "def f(*, cache=dict()):\n    return cache\n"
+        assert rule_ids(lint_source(src)) == ["SIM004"]
+
+    def test_none_and_tuple_defaults_are_fine(self):
+        src = "def f(x=None, y=(), z=1):\n    return x, y, z\n"
+        assert lint_source(src) == []
+
+
+class TestSim005ModuleMutableState:
+    def test_flags_module_dict_in_tcp(self):
+        src = "CACHE = {}\n"
+        findings = lint_source(src, path="repro/tcp/state.py")
+        assert rule_ids(findings) == ["SIM005"]
+
+    def test_flags_annotated_list_in_net(self):
+        src = "PENDING: list = []\n"
+        assert rule_ids(lint_source(src, path="repro/net/state.py")) == ["SIM005"]
+
+    def test_out_of_scope_paths_are_fine(self):
+        src = "CACHE = {}\n"
+        assert lint_source(src, path="repro/metrics/state.py") == []
+
+    def test_immutable_and_dunder_are_fine(self):
+        src = "__all__ = ['a']\nTABLE = (1, 2)\nNAMES = frozenset({'x'})\n"
+        assert lint_source(src, path="repro/tcp/consts.py") == []
+
+
+class TestSim006HandlerReentrancy:
+    BAD = (
+        "class Driver:\n"
+        "    def arm(self):\n"
+        "        self.sim.schedule(1.0, self.handler)\n"
+        "    def handler(self):\n"
+        "        self.sim.run()\n"
+    )
+
+    def test_flags_run_inside_scheduled_handler(self):
+        findings = lint_source(self.BAD)
+        assert rule_ids(findings) == ["SIM006"]
+        assert "handler" in findings[0].message
+
+    def test_top_level_run_is_fine(self):
+        src = (
+            "def drive(sim, cb):\n"
+            "    sim.schedule(1.0, cb)\n"
+            "    sim.run(until=1.0)\n"
+        )
+        assert lint_source(src) == []
+
+
+class TestSim007ExperimentContract:
+    def test_flags_partial_subclass(self):
+        src = (
+            "from repro.experiments.base import Experiment\n"
+            "class Broken(Experiment):\n"
+            "    def points(self, params):\n"
+            "        return []\n"
+        )
+        findings = lint_source(src)
+        assert rule_ids(findings) == ["SIM007"]
+        assert "run_point" in findings[0].message
+        assert "reduce" in findings[0].message
+
+    def test_full_subclass_is_fine(self):
+        src = (
+            "from repro.experiments.base import Experiment\n"
+            "class Fine(Experiment):\n"
+            "    def points(self, params):\n"
+            "        return []\n"
+            "    def run_point(self, params, point, seed):\n"
+            "        return None\n"
+            "    def reduce(self, params, points, results):\n"
+            "        return list(results)\n"
+        )
+        assert lint_source(src) == []
+
+    def test_unrelated_class_is_fine(self):
+        src = "class Helper:\n    pass\n"
+        assert lint_source(src) == []
+
+
+class TestCli:
+    def test_nonzero_exit_and_fixit_on_findings(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import random\n")
+        assert lint_main([str(bad)]) == 1
+        out = capsys.readouterr().out
+        assert "SIM001" in out
+        assert "fix:" in out
+        assert "1 finding" in out
+
+    def test_zero_exit_on_clean_tree(self, tmp_path, capsys):
+        clean = tmp_path / "clean.py"
+        clean.write_text("x = 1\n")
+        assert lint_main([str(clean)]) == 0
+        assert "no findings" in capsys.readouterr().out
+
+    def test_select_option(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import random\ndef f(x=[]):\n    return x\n")
+        assert lint_main([str(bad), "--select", "SIM002"]) == 0
+        assert lint_main([str(bad), "--select", "SIM004"]) == 1
+
+    def test_list_rules(self, capsys):
+        assert lint_main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for n in range(1, 8):
+            assert f"SIM{n:03d}" in out
+
+    def test_directory_walk(self, tmp_path):
+        pkg = tmp_path / "pkg"
+        pkg.mkdir()
+        (pkg / "a.py").write_text("import random\n")
+        (pkg / "b.py").write_text("import time\nt = time.time()\n")
+        findings = lint_paths([str(pkg)])
+        assert rule_ids(findings) == ["SIM001", "SIM002"]
+
+
+class TestSelfCheck:
+    def test_shipped_package_lints_clean(self):
+        """The guard the CI lint job enforces: src/repro has no findings."""
+        package_dir = Path(repro.__file__).parent
+        findings = lint_paths([str(package_dir)])
+        assert findings == [], "\n".join(f.render() for f in findings)
