@@ -101,7 +101,22 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="write a JSON artifact of the measured results to this path",
     )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="run under cProfile and print the hottest functions by "
+        "cumulative time (profiles this process only: with --jobs > 1 "
+        "the sweep work happens in workers and will not appear)",
+    )
+    parser.add_argument(
+        "--profile-out",
+        default=None,
+        help="also dump the raw cProfile stats to this path "
+        "(load with pstats or snakeviz); implies --profile",
+    )
     args = parser.parse_args(argv)
+    if args.profile_out:
+        args.profile = True
     if args.check_invariants:
         # The environment is the one channel every Simulator sees —
         # including those built inside sweep worker processes, which
@@ -132,25 +147,46 @@ def main(argv: list[str] | None = None) -> int:
     )
 
     names = sorted(set(EXPERIMENTS)) if args.experiment == "all" else [args.experiment]
-    seen: set[str] = set()
     artifacts = {}
-    total_hits = total_executed = 0
-    for name in names:
-        exp = EXPERIMENTS[name]
-        if exp.id in seen:  # aliases (fig2, fig6, table1...) run once
-            continue
-        seen.add(exp.id)
-        print(f"=== {name} (preset={args.preset}) ===")
-        start = time.perf_counter()
-        artifacts[name] = _run_one(name, exp, runner, args)
-        stats = runner.last_stats
-        if stats is not None:
-            total_hits += stats.cache_hits
-            total_executed += stats.executed
-        note = ""
-        if stats is not None and stats.cache_hits:
-            note = f", {stats.cache_hits}/{stats.total_points} cached"
-        print(f"    [{time.perf_counter() - start:.1f}s{note}]\n")
+    totals = {"hits": 0, "executed": 0}
+
+    def run_selected() -> None:
+        seen: set[str] = set()
+        for name in names:
+            exp = EXPERIMENTS[name]
+            if exp.id in seen:  # aliases (fig2, fig6, table1...) run once
+                continue
+            seen.add(exp.id)
+            print(f"=== {name} (preset={args.preset}) ===")
+            start = time.perf_counter()
+            artifacts[name] = _run_one(name, exp, runner, args)
+            stats = runner.last_stats
+            if stats is not None:
+                totals["hits"] += stats.cache_hits
+                totals["executed"] += stats.executed
+            note = ""
+            if stats is not None and stats.cache_hits:
+                note = f", {stats.cache_hits}/{stats.total_points} cached"
+            print(f"    [{time.perf_counter() - start:.1f}s{note}]\n")
+
+    if args.profile:
+        import cProfile
+        import pstats
+
+        profiler = cProfile.Profile()
+        profiler.enable()
+        try:
+            run_selected()
+        finally:
+            profiler.disable()
+            if args.profile_out:
+                profiler.dump_stats(args.profile_out)
+                print(f"profile written to {args.profile_out}", file=sys.stderr)
+            stats = pstats.Stats(profiler, stream=sys.stderr)
+            stats.sort_stats("cumulative").print_stats(25)
+    else:
+        run_selected()
+    total_hits, total_executed = totals["hits"], totals["executed"]
     if args.output:
         from repro.experiments.store import save_results
 

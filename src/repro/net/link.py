@@ -22,7 +22,7 @@ if TYPE_CHECKING:  # pragma: no cover
 __all__ = ["Link", "LinkStats"]
 
 
-@dataclass
+@dataclass(slots=True)
 class LinkStats:
     """Lifetime counters for a link's transmitter."""
 
@@ -67,6 +67,8 @@ class Link:
         self.name = name or f"{src_node.name}->{dst_node.name}"
         self.stats = LinkStats()
         self._busy = False
+        #: seconds per byte, so ``tx_time`` is one multiply on the hot path.
+        self._secs_per_byte = 8.0 / bandwidth_bps
         invariants = getattr(sim, "invariants", None)
         if invariants is not None:
             invariants.register_queue(queue, name=self.name)
@@ -74,11 +76,27 @@ class Link:
         self.on_deliver: Optional[Callable[[Packet], None]] = None
 
     # ------------------------------------------------------------------
+    @property
+    def queue(self) -> DropTailQueue:
+        """The egress queue.  Assignable (tests swap in RED/ECN queues);
+        the setter refreshes the tick-elision flag."""
+        return self._queue
+
+    @queue.setter
+    def queue(self, queue: DropTailQueue) -> None:
+        self._queue = queue
+        #: skip the per-packet ``queue.tick`` call entirely for queues
+        #: that inherit DropTailQueue's no-op (RED is the only
+        #: time-driven queue; drop-tail and ECN marking are not).
+        self._queue_ticks = type(queue).tick is not DropTailQueue.tick
+
     def send(self, pkt: Packet) -> None:
         """Entry point used by the owning node to emit ``pkt``."""
-        self.queue.tick(self.sim.now)
+        queue = self._queue
+        if self._queue_ticks:
+            queue.tick(self.sim.now)
         if self._busy:
-            self.queue.enqueue(pkt)
+            queue.enqueue(pkt)
             return
         self._transmit(pkt)
 
@@ -93,21 +111,28 @@ class Link:
 
     def tx_time(self, pkt: Packet) -> float:
         """Serialization time of ``pkt`` on this link."""
-        return pkt.size_bytes * 8.0 / self.bandwidth_bps
+        return pkt.size_bytes * self._secs_per_byte
 
     # ------------------------------------------------------------------
     def _transmit(self, pkt: Packet) -> None:
         self._busy = True
-        tx = self.tx_time(pkt)
-        self.stats.tx_packets += 1
-        self.stats.tx_bytes += pkt.size_bytes
-        self.stats.busy_time += tx
-        self.sim.schedule(tx, self._tx_done)
-        self.sim.schedule(tx + self.delay_s, self._deliver, pkt)
+        size = pkt.size_bytes
+        tx = size * self._secs_per_byte
+        stats = self.stats
+        stats.tx_packets += 1
+        stats.tx_bytes += size
+        stats.busy_time += tx
+        # Transient scheduling: these events are never cancelled and no
+        # handle is kept, so the kernel may pool the records.
+        schedule = self.sim.schedule_transient
+        schedule(tx, self._tx_done)
+        schedule(tx + self.delay_s, self._deliver, pkt)
 
     def _tx_done(self) -> None:
-        self.queue.tick(self.sim.now)
-        nxt = self.queue.dequeue()
+        queue = self._queue
+        if self._queue_ticks:
+            queue.tick(self.sim.now)
+        nxt = queue.dequeue()
         if nxt is None:
             self._busy = False
         else:

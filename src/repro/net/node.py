@@ -58,6 +58,11 @@ class Host(Node):
     def __init__(self, sim: Simulator, node_id: int, name: str = "") -> None:
         super().__init__(sim, node_id, name)
         self._agents: dict[int, Agent] = {}
+        self._nic: Optional["Link"] = None  # memoized single-egress link
+
+    def attach_link(self, link: "Link") -> None:
+        super().attach_link(link)
+        self._nic = None  # a second link invalidates the single-NIC cache
 
     def attach_agent(self, flow_id: int, agent: Agent) -> None:
         if flow_id in self._agents:
@@ -70,15 +75,23 @@ class Host(Node):
     @property
     def nic(self) -> "Link":
         """The host's single egress link; raises if it has 0 or many."""
+        nic = self._nic
+        if nic is not None:
+            return nic
         if len(self.egress) != 1:
             raise ValueError(
                 f"{self.name} has {len(self.egress)} egress links, expected 1"
             )
-        return next(iter(self.egress.values()))
+        nic = next(iter(self.egress.values()))
+        self._nic = nic
+        return nic
 
     def send(self, pkt: Packet) -> None:
         """Emit ``pkt`` on the NIC (single-homed hosts)."""
-        self.nic.send(pkt)
+        nic = self._nic
+        if nic is None:
+            nic = self.nic
+        nic.send(pkt)
 
     def receive(self, pkt: Packet) -> None:
         if pkt.dst != self.node_id:

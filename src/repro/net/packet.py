@@ -19,6 +19,8 @@ ACK_BYTES = 40
 DATA = "data"
 ACK = "ack"
 
+_INF = float("inf")  # hoisted: Packet.__init__ runs once per packet
+
 __all__ = ["ACK", "ACK_BYTES", "DATA", "MSS_BYTES", "Packet"]
 
 
@@ -105,7 +107,7 @@ class Packet:
         #: receiver holds above the cumulative ACK (SACK option).
         self.sack_blocks: tuple = ()
         #: ACK: receiver's advertised window in segments (flow control).
-        self.rwnd: float = float("inf")
+        self.rwnd: float = _INF
         self.hops = 0
 
     @property
@@ -131,7 +133,7 @@ def make_ack(
     ack: int,
     now: float,
     sack_blocks: tuple = (),
-    rwnd: float = float("inf"),
+    rwnd: float = _INF,
 ) -> Packet:
     """Build the ACK a sink sends in response to ``data_pkt``."""
     pkt = Packet(

@@ -22,7 +22,7 @@ from repro.sim.randomness import seeded_rng
 __all__ = ["DropTailQueue", "EcnQueue", "QueueStats", "RedQueue"]
 
 
-@dataclass
+@dataclass(slots=True)
 class QueueStats:
     """Counters a queue keeps over its lifetime."""
 

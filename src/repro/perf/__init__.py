@@ -1,0 +1,32 @@
+"""Microbenchmark harness for the simulation hot path.
+
+The repo's north star is a simulator that runs as fast as the hardware
+allows; this package is how that claim is measured instead of asserted.
+``python -m repro.perf`` runs a set of named microbenchmarks — pure
+kernel event churn, single-link saturation, a quick incast point, and a
+TCP-TRIM probe cycle — and writes a machine-readable ``BENCH_*.json``
+artifact with median/p90 wall-clock, executed events per second, and
+peak RSS, so every PR leaves a comparable performance trajectory behind.
+
+See :mod:`repro.perf.harness` for the JSON schema and the regression
+comparison used by CI (``--baseline``/``--max-regression``).
+"""
+
+from repro.perf.benchmarks import BENCHMARKS, BenchmarkSpec
+from repro.perf.harness import (
+    BENCH_SCHEMA,
+    BenchResult,
+    compare_to_baseline,
+    run_benchmark,
+    write_bench_json,
+)
+
+__all__ = [
+    "BENCHMARKS",
+    "BENCH_SCHEMA",
+    "BenchResult",
+    "BenchmarkSpec",
+    "compare_to_baseline",
+    "run_benchmark",
+    "write_bench_json",
+]

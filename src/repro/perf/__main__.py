@@ -1,0 +1,124 @@
+"""Command-line microbenchmark runner.
+
+Usage::
+
+    python -m repro.perf --quick                    # CI smoke: small scales
+    python -m repro.perf                            # full scales
+    python -m repro.perf --bench kernel_churn --repeats 9
+    python -m repro.perf --quick --output BENCH_kernel.json \
+        --baseline benchmarks/baselines/BENCH_kernel.json --max-regression 30
+
+Exit status is non-zero when a ``--baseline`` comparison finds a
+benchmark slower than ``--max-regression`` percent (CI's gate).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.perf.benchmarks import BENCHMARKS
+from repro.perf.harness import (
+    compare_to_baseline,
+    load_bench_json,
+    run_benchmark,
+    write_bench_json,
+)
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.perf",
+        description="Run simulation hot-path microbenchmarks.",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small work sizes (CI smoke); default is the full sizes",
+    )
+    parser.add_argument(
+        "--bench",
+        action="append",
+        choices=[spec.name for spec in BENCHMARKS],
+        help="run only this benchmark (repeatable; default: all)",
+    )
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=5,
+        help="timed repetitions per benchmark (default: 5)",
+    )
+    parser.add_argument(
+        "--output",
+        default="BENCH_kernel.json",
+        help="BENCH JSON artifact path (default: BENCH_kernel.json)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        help="compare against this committed BENCH JSON artifact",
+    )
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=30.0,
+        help="fail when a compared benchmark is this much slower than "
+        "the baseline, in percent (default: 30)",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list benchmarks and exit"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for spec in BENCHMARKS:
+            print(f"{spec.name:18s} {spec.description}")
+        return 0
+    if args.repeats < 1:
+        parser.error("--repeats must be >= 1")
+
+    selected = [
+        spec
+        for spec in BENCHMARKS
+        if args.bench is None or spec.name in args.bench
+    ]
+    results = {}
+    print(f"mode={'quick' if args.quick else 'full'} repeats={args.repeats}")
+    for spec in selected:
+        result = run_benchmark(spec, repeats=args.repeats, quick=args.quick)
+        results[spec.name] = result
+        print(
+            f"  {spec.name:18s} median={result.wall_median_s * 1e3:8.1f} ms  "
+            f"p90={result.wall_p90_s * 1e3:8.1f} ms  "
+            f"{result.events_per_sec:12,.0f} events/s  "
+            f"rss={result.peak_rss_kb / 1024:.0f} MB"
+        )
+    out = write_bench_json(args.output, results, quick=args.quick)
+    print(f"wrote {out}")
+
+    if args.baseline is None:
+        return 0
+    current = load_bench_json(out)
+    baseline = load_bench_json(args.baseline)
+    if baseline["mode"] != current["mode"]:
+        print(
+            f"warning: comparing a {current['mode']!r} run against a "
+            f"{baseline['mode']!r} baseline",
+            file=sys.stderr,
+        )
+    failed = False
+    for cmp in compare_to_baseline(current, baseline):
+        verdict = "ok"
+        if cmp.drop_pct > args.max_regression:
+            verdict = f"REGRESSION (> {args.max_regression:.0f}%)"
+            failed = True
+        print(
+            f"  {cmp.name:18s} baseline={cmp.baseline_events_per_sec:12,.0f} "
+            f"now={cmp.current_events_per_sec:12,.0f} events/s  "
+            f"delta={-cmp.drop_pct:+6.1f}%  {verdict}"
+        )
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

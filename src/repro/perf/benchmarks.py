@@ -1,0 +1,242 @@
+"""Named microbenchmarks over the simulation hot path.
+
+Every benchmark is a deterministic, self-contained function of a single
+integer ``scale`` knob: it builds a fresh simulation, drives it, and
+returns the executed-event count plus a behavior checksum.  Determinism
+matters twice — repeats must measure the same work, and the checksum
+lets the harness assert that a timing run did not silently change
+behavior between repeats.
+
+The four benchmarks target the layers every paper figure funnels
+through:
+
+``kernel_churn``
+    Pure :class:`~repro.sim.kernel.Simulator` scheduling: many flows
+    each re-arming a long retransmission-style timer per tick, so most
+    scheduled events are cancelled before firing — the workload that
+    dominates TCP simulations and the one the timer wheel exists for.
+``link_saturation``
+    One Reno flow saturating a single link: the
+    ``Link.transmit``/``TcpSource`` send/ACK pipeline with no loss.
+``incast_quick``
+    A 16-to-1 synchronized burst into a shallow buffer: loss recovery,
+    RTO back-off, and go-back-N — the retransmission-heavy path.
+``trim_probe``
+    A TCP-TRIM connection sending trains separated by OFF gaps: the
+    probe cycle (suspend, probe pair, deadline, window inheritance).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.net.topology import build_star
+from repro.sim.kernel import Event, Simulator
+from repro.tcp.base import TcpSink, TcpSource
+from repro.tcp.factory import create_source, default_config
+
+__all__ = ["BENCHMARKS", "BenchmarkSpec", "BenchRun"]
+
+
+@dataclass
+class BenchRun:
+    """What one benchmark execution did (identical across repeats)."""
+
+    events: int
+    sim_seconds: float
+    checksum: int
+
+
+class _ChurnFlow:
+    """One synthetic flow: every tick re-arms a long timeout timer.
+
+    This mirrors what a TCP sender does on every ACK — cancel the
+    pending RTO, schedule a new one ~400 ticks in the future — so the
+    overwhelming majority of scheduled timers are cancelled long before
+    they fire.
+    """
+
+    __slots__ = ("sim", "interval", "timeout", "remaining", "timer", "fired")
+
+    def __init__(
+        self, sim: Simulator, interval: float, timeout: float, ticks: int
+    ) -> None:
+        self.sim = sim
+        self.interval = interval
+        self.timeout = timeout
+        self.remaining = ticks
+        self.timer: Optional[Event] = None
+        self.fired = 0
+
+    def start(self) -> None:
+        self.sim.schedule(self.interval, self.on_tick)
+
+    def on_tick(self) -> None:
+        if self.timer is not None:
+            self.timer.cancel()
+        self.timer = self.sim.schedule(self.timeout, self.on_timeout)
+        self.remaining -= 1
+        if self.remaining > 0:
+            self.sim.schedule(self.interval, self.on_tick)
+
+    def on_timeout(self) -> None:
+        self.timer = None
+        self.fired += 1
+
+
+def bench_kernel_churn(scale: int) -> BenchRun:
+    """Pure kernel event churn: schedule/cancel/pop, no network."""
+    sim = Simulator(check_invariants=False)
+    n_flows = 50
+    ticks = 40 * scale
+    flows = []
+    for i in range(n_flows):
+        # Slightly different periods per flow so the heap stays mixed.
+        flow = _ChurnFlow(
+            sim, interval=5e-4 + i * 1e-6, timeout=0.2, ticks=ticks
+        )
+        flow.start()
+        flows.append(flow)
+    sim.run()
+    checksum = sim.events_executed * 31 + sum(f.fired for f in flows)
+    return BenchRun(sim.events_executed, sim.now, checksum)
+
+
+def _star_flow(
+    protocol: str,
+    n_servers: int,
+    buffer_pkts: int,
+    max_cwnd: float = 1e12,
+    **extras: object,
+) -> tuple[Simulator, list[TcpSource]]:
+    sim = Simulator(check_invariants=False)
+    star = build_star(
+        sim,
+        n_servers,
+        bandwidth_bps=1e9,
+        delay_s=50e-6,
+        buffer_pkts=buffer_pkts,
+    )
+    config = default_config(
+        protocol, min_rto=0.01, initial_rto=0.01, max_cwnd=max_cwnd
+    )
+    sources = []
+    for i, server in enumerate(star.servers):
+        source = create_source(
+            protocol,
+            sim,
+            server,
+            star.frontend.node_id,
+            flow_id=i,
+            config=config,
+            **extras,  # type: ignore[arg-type]
+        )
+        TcpSink(sim, star.frontend, flow_id=i)
+        sources.append(source)
+    return sim, sources
+
+
+def bench_link_saturation(scale: int) -> BenchRun:
+    """One lossless Reno flow pushing a long message through one link.
+
+    ``max_cwnd`` is pinned just above the path BDP so the flow reaches a
+    steady saturated pipeline: without the cap, validation-free Reno
+    slow-starts its window (and the queue, and every RTT-scaled cost)
+    without bound and the benchmark measures a pathology instead of the
+    per-packet pipeline.
+    """
+    sim, (source,) = _star_flow(
+        "reno", n_servers=1, buffer_pkts=256, max_cwnd=64.0
+    )
+    segments = 800 * scale
+    source.send_message(segments)
+    sim.run(until=30.0)
+    if not source.all_acked:  # pragma: no cover - sizing bug guard
+        raise RuntimeError("link_saturation did not drain; resize the benchmark")
+    checksum = sim.events_executed * 31 + source.stats.segments_sent
+    return BenchRun(sim.events_executed, sim.now, checksum)
+
+
+def bench_incast_quick(scale: int) -> BenchRun:
+    """16-to-1 synchronized bursts into a shallow buffer (loss recovery)."""
+    sim, sources = _star_flow("reno", n_servers=16, buffer_pkts=32)
+    segments = 3 * scale
+    for source in sources:
+        sim.schedule_at(0.001, source.send_message, segments)
+    sim.run(until=60.0)
+    done = sum(1 for s in sources if s.all_acked)
+    if done != len(sources):  # pragma: no cover - sizing bug guard
+        raise RuntimeError("incast_quick did not complete; resize the benchmark")
+    retx = sum(s.stats.retransmits for s in sources)
+    checksum = sim.events_executed * 31 + retx
+    return BenchRun(sim.events_executed, sim.now, checksum)
+
+
+def bench_trim_probe(scale: int) -> BenchRun:
+    """TCP-TRIM trains separated by OFF gaps: repeated probe cycles."""
+    sim, (source,) = _star_flow(
+        "trim",
+        n_servers=1,
+        buffer_pkts=100,
+        capacity_pps=1e9 / (8.0 * 1460),
+        base_rtt=2 * 50e-6 + 1500 * 8 / 1e9,
+    )
+    trains = 6 * scale
+    for k in range(trains):
+        sim.schedule_at(0.001 + k * 0.02, source.send_message, 40)
+    sim.run(until=0.001 + trains * 0.02 + 1.0)
+    cycles = source.probes_completed + source.probes_timed_out  # type: ignore[attr-defined]
+    if cycles == 0:  # pragma: no cover - sizing bug guard
+        raise RuntimeError("trim_probe never probed; resize the benchmark")
+    checksum = sim.events_executed * 31 + cycles
+    return BenchRun(sim.events_executed, sim.now, checksum)
+
+
+@dataclass
+class BenchmarkSpec:
+    """A named benchmark plus its quick/full work sizes."""
+
+    name: str
+    description: str
+    fn: Callable[[int], BenchRun]
+    quick_scale: int
+    full_scale: int
+
+    def scale_for(self, quick: bool) -> int:
+        return self.quick_scale if quick else self.full_scale
+
+
+#: registry, in display order.  Scales are sized so a quick run takes
+#: well under a second per repeat on commodity hardware and a full run
+#: a few seconds — long enough to dominate timer jitter.
+BENCHMARKS: tuple[BenchmarkSpec, ...] = (
+    BenchmarkSpec(
+        "kernel_churn",
+        "pure event-loop schedule/cancel churn (RTO-timer pattern)",
+        bench_kernel_churn,
+        quick_scale=25,
+        full_scale=150,
+    ),
+    BenchmarkSpec(
+        "link_saturation",
+        "single Reno flow saturating one link, no loss",
+        bench_link_saturation,
+        quick_scale=10,
+        full_scale=60,
+    ),
+    BenchmarkSpec(
+        "incast_quick",
+        "16-to-1 synchronized burst with loss recovery",
+        bench_incast_quick,
+        quick_scale=12,
+        full_scale=60,
+    ),
+    BenchmarkSpec(
+        "trim_probe",
+        "TCP-TRIM ON/OFF trains driving probe cycles",
+        bench_trim_probe,
+        quick_scale=8,
+        full_scale=40,
+    ),
+)

@@ -102,7 +102,7 @@ class Message:
         return self.finish_time - self.submit_time
 
 
-@dataclass
+@dataclass(slots=True)
 class SourceStats:
     """Lifetime counters kept by a sender."""
 
@@ -249,14 +249,22 @@ class TcpSource:
     def _try_send(self) -> None:
         """Transmit as many new segments as window, data — and when
         pacing is on, the ``srtt/cwnd`` send spacing — allow."""
+        # Loop-invariant loads hoisted out of the send loop.  app_limit
+        # and highest_ack cannot change mid-loop (no ACK can arrive
+        # between our own sends); t_seqno and the window must stay live
+        # because the _before_send_new hook mutates them (TCP-TRIM's
+        # probe mode, GIP's window restart).
+        pacing = self.config.pacing
+        app_limit = self.app_limit
+        base = self.highest_ack + 1
         while (
             not self.suspended
-            and self.t_seqno < self.app_limit
-            and self.flight < self._window_segments()
+            and self.t_seqno < app_limit
+            and self.t_seqno - base < self._window_segments()
         ):
             if self.t_seqno > self.max_seq_sent and not self._before_send_new():
                 break
-            if self.config.pacing and not self._pacing_permits():
+            if pacing and not self._pacing_permits():
                 break
             self._send_segment(self.t_seqno)
             self.t_seqno += 1

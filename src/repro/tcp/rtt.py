@@ -20,6 +20,8 @@ class EwmaRtt:
     threshold and the probe deadline; distinct from the RTO estimator.
     """
 
+    __slots__ = ("alpha", "value")
+
     def __init__(self, alpha: float = 0.25) -> None:
         if not 0 < alpha <= 1:
             raise ValueError("alpha must be in (0, 1]")
@@ -44,6 +46,19 @@ class RttEstimator:
     200 ms, 20 ms, and 1 ms in different experiments), so it is a
     constructor argument.
     """
+
+    __slots__ = (
+        "min_rto",
+        "max_rto",
+        "alpha",
+        "beta",
+        "k",
+        "srtt",
+        "rttvar",
+        "latest_sample",
+        "backoff_factor",
+        "_base_rto",
+    )
 
     def __init__(
         self,

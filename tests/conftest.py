@@ -3,6 +3,23 @@
 import pytest
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--regen-golden",
+        action="store_true",
+        default=False,
+        help="re-record the golden-trace fixtures under tests/golden/ "
+        "instead of comparing against them (use only when a behavior "
+        "change is intended and reviewed)",
+    )
+
+
+@pytest.fixture
+def regen_golden(request):
+    """True when the run should re-record golden-trace fixtures."""
+    return bool(request.config.getoption("--regen-golden"))
+
+
 @pytest.fixture(autouse=True)
 def _isolated_sweep_cache(tmp_path, monkeypatch):
     """Point the sweep result cache at a per-test directory.

@@ -3,6 +3,7 @@
 import pytest
 from hypothesis import given, strategies as st
 
+from repro.sim.invariants import InvariantViolation
 from repro.sim.kernel import SimulationError, Simulator
 
 
@@ -54,6 +55,23 @@ class TestScheduling:
     def test_nan_delay_rejected(self):
         with pytest.raises(SimulationError):
             Simulator().schedule(float("nan"), lambda: None)
+
+    def test_infinite_delay_rejected(self):
+        # Regression: inf used to be accepted and park an event that
+        # could never fire (while still counting as pending).
+        with pytest.raises(SimulationError):
+            Simulator().schedule(float("inf"), lambda: None)
+
+    def test_schedule_at_non_finite_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule_at(float("inf"), lambda: None)
+        with pytest.raises(SimulationError):
+            sim.schedule_at(float("nan"), lambda: None)
+
+    def test_non_positive_granularity_rejected(self):
+        with pytest.raises(ValueError):
+            Simulator(timer_granularity=0.0)
 
     def test_schedule_at_past_rejected(self):
         sim = Simulator()
@@ -107,6 +125,47 @@ class TestCancellation:
         sim.run()
         assert seen == ["keep"]
         assert not keep.cancelled
+
+
+class TestTransient:
+    def test_transient_runs_and_returns_no_handle(self):
+        sim = Simulator()
+        seen = []
+        assert sim.schedule_transient(1.0, seen.append, "x") is None
+        sim.run()
+        assert seen == ["x"]
+
+    def test_transient_validation_matches_schedule(self):
+        sim = Simulator()
+        for delay in (-0.1, float("nan"), float("inf")):
+            with pytest.raises(SimulationError):
+                sim.schedule_transient(delay, lambda: None)
+
+    def test_pooled_records_fire_exactly_once(self):
+        # Recycle the same pooled record many times; every firing must
+        # carry its own (fn, args), never a stale pair.
+        sim = Simulator()
+        seen = []
+
+        def chain(i):
+            seen.append(i)
+            if i < 50:
+                sim.schedule_transient(0.001, chain, i + 1)
+
+        sim.schedule_transient(0.001, chain, 0)
+        sim.run()
+        assert seen == list(range(51))
+
+    def test_pool_reuse_does_not_leak_cancelled_flag(self):
+        # A cancelled regular event is never pooled, and a recycled
+        # transient record starts un-cancelled even after heavy mixing.
+        sim = Simulator()
+        seen = []
+        for i in range(20):
+            sim.schedule_transient(0.001 + i * 1e-4, seen.append, i)
+            sim.schedule(0.001 + i * 1e-4, lambda: None).cancel()
+        sim.run()
+        assert seen == list(range(20))
 
 
 class TestRun:
@@ -209,6 +268,66 @@ class TestStepAndPeek:
         sim.schedule(1.0, lambda: None)
         sim.schedule(2.0, lambda: None).cancel()
         assert sim.pending == 1
+
+    def test_pending_counts_far_future_cancellations(self):
+        # Far-future events live in the timer wheel, not the heap; the
+        # live counter must track them and their cancellations too.
+        sim = Simulator()
+        near = sim.schedule(1e-4, lambda: None)
+        far = sim.schedule(10.0, lambda: None)
+        assert sim.pending == 2 == sim._pending_scan()
+        far.cancel()
+        assert sim.pending == 1 == sim._pending_scan()
+        near.cancel()
+        far.cancel()  # idempotent: no double decrement
+        assert sim.pending == 0 == sim._pending_scan()
+
+    def test_step_rejects_reentry(self):
+        # Regression: step() used to ignore the _running guard, so a
+        # handler could silently re-enter the scheduler.
+        sim = Simulator()
+        sim.schedule(1.0, sim.step)
+        with pytest.raises(SimulationError):
+            sim.step()
+
+    def test_step_rejected_inside_run(self):
+        sim = Simulator()
+        sim.schedule(1.0, sim.step)
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_step_feeds_invariant_monitor(self):
+        # Regression: step() used to bypass the invariant monitor that
+        # run() honors; both entry points must check identically.
+        class _BrokenQueue:
+            def __init__(self):
+                from repro.net.queues import QueueStats
+
+                self.stats = QueueStats(enqueued=5)
+
+            def __len__(self):
+                return 0
+
+        sim = Simulator(check_invariants=True)
+        sim.invariants.register_queue(_BrokenQueue(), name="broken")
+        sim.schedule(1.0, lambda: None)
+        with pytest.raises(InvariantViolation):
+            sim.step()
+
+    def test_step_counts_into_monitor(self):
+        sim = Simulator(check_invariants=True)
+        sim.schedule(1.0, lambda: None)
+        assert sim.step()
+        assert sim.invariants.events_seen == 1
+        assert sim.invariants.checks_run >= 1
+
+    def test_step_executes_wheel_events(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(10.0, seen.append, "far")  # parked in the wheel
+        assert sim.step()
+        assert seen == ["far"]
+        assert not sim.step()
 
 
 @given(st.lists(st.floats(min_value=0.0, max_value=1e6), min_size=1, max_size=60))

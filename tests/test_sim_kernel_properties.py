@@ -1,0 +1,140 @@
+"""Hypothesis properties of the kernel's hot-path machinery.
+
+The kernel promises byte-identical determinism and exact
+``(time, scheduling-order)`` execution regardless of its internal
+shortcuts — the timer wheel, the live pending counter, and the
+transient-event pool.  These properties drive randomized interleavings
+of schedule / cancel / transient operations across the wheel-granularity
+boundary and check each shortcut against a brute-force reference.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.sim.kernel import Simulator
+
+# Delays straddle the default 5 ms wheel granularity so every program
+# exercises both the heap path (short) and the wheel path (long).
+delays = st.one_of(
+    st.floats(min_value=0.0, max_value=0.004),
+    st.floats(min_value=0.0, max_value=0.5),
+)
+
+#: one operation: (delay, kind, cancel_after or None); ``cancel_after``
+#: schedules a cancellation of the event that many seconds after it was
+#: scheduled — sometimes before the event's own time, sometimes after.
+ops = st.lists(
+    st.tuples(
+        delays,
+        st.sampled_from(["regular", "transient"]),
+        st.one_of(st.none(), delays),
+    ),
+    min_size=1,
+    max_size=40,
+)
+
+
+def _run_program(sim, program, fired):
+    """Schedule ``program`` on ``sim``; ``fired`` records (now, index)."""
+    for i, (delay, kind, cancel_after) in enumerate(program):
+        if kind == "transient":
+            sim.schedule_transient(delay, lambda i=i: fired.append((sim.now, i)))
+        else:
+            event = sim.schedule(delay, lambda i=i: fired.append((sim.now, i)))
+            if cancel_after is not None:
+                sim.schedule(cancel_after, event.cancel)
+    sim.run()
+
+
+@settings(max_examples=60, deadline=None)
+@given(program=ops)
+def test_property_execution_order_total_and_deterministic(program):
+    """Two identical programs produce identical firing sequences, times
+    never decrease, and ties fire in scheduling order."""
+    results = []
+    for _ in range(2):
+        fired = []
+        _run_program(Simulator(), program, fired)
+        results.append(fired)
+    first, second = results
+    assert first == second
+    times = [t for t, _ in first]
+    assert times == sorted(times)
+    # Same-time firings must appear in scheduling (index) order.  All
+    # events here are scheduled at t=0, so delay order is index-free.
+    by_time = {}
+    for t, i in first:
+        by_time.setdefault(t, []).append(i)
+    for indices in by_time.values():
+        same_delay = {}
+        for i in indices:
+            same_delay.setdefault(program[i][0], []).append(i)
+        for group in same_delay.values():
+            assert group == sorted(group)
+
+
+@settings(max_examples=60, deadline=None)
+@given(program=ops)
+def test_property_wheel_is_behavior_invisible(program):
+    """A huge granularity disables the wheel entirely (every event goes
+    straight to the heap); the firing sequence must be identical."""
+    with_wheel = []
+    _run_program(Simulator(timer_granularity=0.005), program, with_wheel)
+    without_wheel = []
+    _run_program(Simulator(timer_granularity=1e9), program, without_wheel)
+    assert with_wheel == without_wheel
+
+
+@settings(max_examples=60, deadline=None)
+@given(program=ops)
+def test_property_pending_matches_brute_force_scan(program):
+    """The O(1) live counter always equals a full scan of heap + wheel,
+    at every point in the run."""
+    sim = Simulator()
+    checked = []
+
+    def probe():
+        checked.append(True)
+        assert sim.pending == sim._pending_scan()
+        if sim.peek_time() is not None:
+            sim.schedule(0.0005, probe)
+
+    for i, (delay, kind, cancel_after) in enumerate(program):
+        if kind == "transient":
+            sim.schedule_transient(delay, lambda: None)
+        else:
+            event = sim.schedule(delay, lambda: None)
+            if cancel_after is not None:
+                sim.schedule(cancel_after, event.cancel)
+        assert sim.pending == sim._pending_scan()
+    sim.schedule(0.0, probe)
+    sim.run()
+    assert checked
+    assert sim.pending == 0 == sim._pending_scan()
+
+
+@settings(max_examples=60, deadline=None)
+@given(program=ops)
+def test_property_pool_never_resurrects_cancelled_events(program):
+    """With the transient pool churning, cancelled regular events never
+    fire, live ones fire exactly once, transients fire exactly once."""
+    sim = Simulator()
+    fired = []
+    _run_program(sim, program, fired)
+    counts = {}
+    for _, i in fired:
+        counts[i] = counts.get(i, 0) + 1
+    assert all(n == 1 for n in counts.values())
+    for i, (delay, kind, cancel_after) in enumerate(program):
+        if kind == "transient":
+            assert counts.get(i, 0) == 1
+        elif cancel_after is None:
+            assert counts.get(i, 0) == 1
+        elif cancel_after < delay:
+            # Cancelled strictly before its own time: must never fire.
+            assert i not in counts
+        elif cancel_after > delay:
+            # Cancelled after it already fired: cancel is a no-op.
+            assert counts.get(i, 0) == 1
+        # cancel_after == delay is a tie: the event fires first (lower
+        # sequence number), so the cancel is a no-op — but equality of
+        # two drawn floats is rare enough that asserting it adds noise.
