@@ -24,6 +24,7 @@ paper-versus-measured record of every figure and table.
 
 from repro.core import SteadyStateModel, TrimSource, k_threshold, kguide
 from repro.experiments.base import Experiment, Point
+from repro.faults import FaultInjector, FaultPlan
 from repro.net import (
     Network,
     build_fat_tree,
@@ -31,7 +32,7 @@ from repro.net import (
     build_star,
     build_two_level_tree,
 )
-from repro.runner import ResultCache, SweepRunner
+from repro.runner import ResultCache, SweepCheckpoint, SweepRunner
 from repro.sim import (
     InvariantMonitor,
     InvariantViolation,
@@ -74,6 +75,8 @@ def experiment_ids() -> list[str]:
 
 __all__ = [
     "Experiment",
+    "FaultInjector",
+    "FaultPlan",
     "InvariantMonitor",
     "InvariantViolation",
     "Kernel",
@@ -85,6 +88,7 @@ __all__ = [
     "ResultCache",
     "Simulator",
     "SteadyStateModel",
+    "SweepCheckpoint",
     "SweepRunner",
     "TcpConfig",
     "TcpSink",

@@ -13,6 +13,15 @@ of independent points, fanned out to ``--jobs`` worker processes with a
 content-addressed result cache (``--cache-dir`` / ``--no-cache``).
 Results are bit-identical for any ``--jobs`` value.  Each experiment
 prints rows shaped like the paper's figure/table.
+
+Sweeps are crash-safe: every completed point is journalled durably to a
+JSONL checkpoint next to the result cache (override with
+``--checkpoint``), so after a crash, ``kill -9``, or Ctrl-C the same
+command with ``--resume`` replays the finished points and runs only the
+remainder.  Ctrl-C itself exits with status 130 after flushing whatever
+partial report is printable.  ``--fault-plan FILE`` hands a JSON
+:class:`~repro.faults.FaultPlan` to experiments that take one (the
+``faults`` experiment).
 """
 
 from __future__ import annotations
@@ -23,7 +32,12 @@ import sys
 import time
 
 from repro.experiments import registry
-from repro.runner import ResultCache, SweepRunner
+from repro.runner import (
+    ResultCache,
+    SweepCheckpoint,
+    SweepInterrupted,
+    SweepRunner,
+)
 from repro.runner.cache import default_cache_dir
 
 #: every resolvable id (canonical figure ids plus aliases such as
@@ -33,19 +47,42 @@ EXPERIMENTS = {name: registry.get(name) for name in registry.ids()}
 
 def _run_one(name: str, exp, runner: SweepRunner, args) -> object:
     """Run one experiment for the CLI's protocol list; returns payload."""
+    overrides = {}
+    if exp.accepts_fault_plan and args.fault_plan_json is not None:
+        overrides["plan_json"] = args.fault_plan_json
     if exp.uses_protocols:
         protocols = exp.select_protocols(args.protocols)
         tasks = [
-            (exp, exp.make_params(args.preset, protocol=p)) for p in protocols
+            (exp, exp.make_params(args.preset, protocol=p, **overrides))
+            for p in protocols
         ]
-        payloads = runner.run_many(tasks, seed=args.seed)
+        try:
+            payloads = runner.run_many(tasks, seed=args.seed)
+        except SweepInterrupted as interrupt:
+            _report_partial(tasks, interrupt.payloads)
+            raise
         for (experiment, params), payload in zip(tasks, payloads):
             experiment.report(params, payload)
         return dict(zip(protocols, payloads))
-    params = exp.make_params(args.preset)
-    payload = runner.run(exp, params, seed=args.seed)
+    params = exp.make_params(args.preset, **overrides)
+    try:
+        payload = runner.run(exp, params, seed=args.seed)
+    except SweepInterrupted as interrupt:
+        _report_partial([(exp, params)], interrupt.payloads)
+        raise
     exp.report(params, payload)
     return payload
+
+
+def _report_partial(tasks, payloads) -> None:
+    """Best-effort printing of whatever an interrupted sweep reduced."""
+    for (experiment, params), payload in zip(tasks, payloads):
+        if payload is None:
+            continue
+        try:
+            experiment.report(params, payload)
+        except Exception:  # noqa: BLE001 - partial payloads may not print
+            pass
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -83,6 +120,32 @@ def main(argv: list[str] | None = None) -> int:
         type=float,
         default=None,
         help="per-point timeout in seconds (pool runs only)",
+    )
+    parser.add_argument(
+        "--checkpoint",
+        default=None,
+        help="JSONL journal of completed sweep points (default: "
+        "checkpoints/<experiment>-<preset>-seed<seed>.jsonl next to the "
+        "result cache); every finished point is fsynced there, so a "
+        "killed sweep can --resume",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="replay points already in the checkpoint journal and run "
+        "only the unfinished remainder (results identical to an "
+        "uninterrupted run)",
+    )
+    parser.add_argument(
+        "--no-checkpoint",
+        action="store_true",
+        help="disable the sweep checkpoint journal for this run",
+    )
+    parser.add_argument(
+        "--fault-plan",
+        default=None,
+        help="JSON FaultPlan file handed to experiments that take one "
+        "(see the faults experiment and repro.faults.FaultPlan)",
     )
     parser.add_argument(
         "--progress",
@@ -135,18 +198,47 @@ def main(argv: list[str] | None = None) -> int:
         except ValueError as exc:
             parser.error(str(exc))
 
+    names = sorted(set(EXPERIMENTS)) if args.experiment == "all" else [args.experiment]
+
+    args.fault_plan_json = None
+    if args.fault_plan is not None:
+        from repro.faults import FaultPlan
+
+        try:
+            with open(args.fault_plan, "r", encoding="utf-8") as fh:
+                args.fault_plan_json = fh.read()
+            FaultPlan.from_json(args.fault_plan_json)  # validate early
+        except (OSError, ValueError, KeyError, TypeError) as exc:
+            parser.error(f"--fault-plan {args.fault_plan}: {exc}")
+        if not any(EXPERIMENTS[name].accepts_fault_plan for name in names):
+            parser.error(
+                f"--fault-plan: experiment {args.experiment!r} does not "
+                "take a fault plan (try the 'faults' experiment)"
+            )
+
+    cache_root = args.cache_dir or default_cache_dir()
     cache = None
     if not args.no_cache:
-        cache = ResultCache(args.cache_dir or default_cache_dir())
+        cache = ResultCache(cache_root)
+    if args.resume and args.no_checkpoint:
+        parser.error("--resume needs the checkpoint journal (--no-checkpoint given)")
+    checkpoint = None
+    if not args.no_checkpoint:
+        checkpoint_path = args.checkpoint or os.path.join(
+            os.path.expanduser(cache_root),
+            "checkpoints",
+            f"{args.experiment}-{args.preset}-seed{args.seed}.jsonl",
+        )
+        checkpoint = SweepCheckpoint(checkpoint_path)
     runner = SweepRunner(
         jobs=args.jobs,
         cache=cache,
         timeout=args.timeout,
         progress=args.progress,
         label=args.experiment,
+        checkpoint=checkpoint,
+        resume=args.resume,
     )
-
-    names = sorted(set(EXPERIMENTS)) if args.experiment == "all" else [args.experiment]
     artifacts = {}
     totals = {"hits": 0, "executed": 0}
 
@@ -166,28 +258,48 @@ def main(argv: list[str] | None = None) -> int:
                 totals["executed"] += stats.executed
             note = ""
             if stats is not None and stats.cache_hits:
-                note = f", {stats.cache_hits}/{stats.total_points} cached"
+                note += f", {stats.cache_hits}/{stats.total_points} cached"
+            if stats is not None and stats.resumed:
+                note += f", {stats.resumed}/{stats.total_points} resumed"
             print(f"    [{time.perf_counter() - start:.1f}s{note}]\n")
 
-    if args.profile:
-        import cProfile
-        import pstats
+    interrupted = False
+    try:
+        if args.profile:
+            import cProfile
+            import pstats
 
-        profiler = cProfile.Profile()
-        profiler.enable()
-        try:
+            profiler = cProfile.Profile()
+            profiler.enable()
+            try:
+                run_selected()
+            finally:
+                profiler.disable()
+                if args.profile_out:
+                    profiler.dump_stats(args.profile_out)
+                    print(f"profile written to {args.profile_out}", file=sys.stderr)
+                stats = pstats.Stats(profiler, stream=sys.stderr)
+                stats.sort_stats("cumulative").print_stats(25)
+        else:
             run_selected()
-        finally:
-            profiler.disable()
-            if args.profile_out:
-                profiler.dump_stats(args.profile_out)
-                print(f"profile written to {args.profile_out}", file=sys.stderr)
-            stats = pstats.Stats(profiler, stream=sys.stderr)
-            stats.sort_stats("cumulative").print_stats(25)
-    else:
-        run_selected()
+    except KeyboardInterrupt as interrupt:
+        # Completed points are already fsynced to the checkpoint; tell
+        # the user how to pick the sweep back up and exit like an
+        # interrupted process should (128 + SIGINT).
+        interrupted = True
+        done = 0
+        if isinstance(interrupt, SweepInterrupted):
+            done = (interrupt.stats.executed + interrupt.stats.cache_hits
+                    + interrupt.stats.resumed)
+        print("\ninterrupted", file=sys.stderr)
+        if checkpoint is not None:
+            print(
+                f"  {done} completed point(s) journalled to {checkpoint.path}\n"
+                "  re-run the same command with --resume to finish the sweep",
+                file=sys.stderr,
+            )
     total_hits, total_executed = totals["hits"], totals["executed"]
-    if args.output:
+    if args.output and not interrupted:
         from repro.experiments.store import save_results
 
         path = save_results(
@@ -203,7 +315,7 @@ def main(argv: list[str] | None = None) -> int:
             },
         )
         print(f"results written to {path}")
-    return 0
+    return 130 if interrupted else 0
 
 
 if __name__ == "__main__":

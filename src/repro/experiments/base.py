@@ -55,7 +55,9 @@ class Experiment(abc.ABC):
     * ``params_cls`` — the parameter dataclass with ``paper()`` /
       ``quick()`` presets, or None for parameterless experiments;
     * ``uses_protocols`` — False for experiments that ignore the CLI's
-      ``--protocols`` list (workload characterization, ablations).
+      ``--protocols`` list (workload characterization, ablations);
+    * ``accepts_fault_plan`` — True for experiments whose params take a
+      ``plan_json`` override from the CLI's ``--fault-plan`` file.
     """
 
     id: str = ""
@@ -63,6 +65,7 @@ class Experiment(abc.ABC):
     title: str = ""
     params_cls: Optional[type] = None
     uses_protocols: bool = True
+    accepts_fault_plan: bool = False
 
     # ------------------------------------------------------------------
     # Parameter construction

@@ -43,6 +43,7 @@ _EXPERIMENT_MODULES = (
     "repro.experiments.testbed",
     "repro.experiments.ablation",
     "repro.experiments.incast",
+    "repro.experiments.faults",
 )
 
 _REGISTRY: dict[str, "Experiment"] = {}

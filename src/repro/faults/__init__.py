@@ -1,0 +1,52 @@
+"""Deterministic, schedule-driven fault injection.
+
+The subsystem splits into plans-as-data and their execution:
+
+* :mod:`repro.faults.plan` — typed :class:`FaultEvent` records
+  (:class:`LinkDown`/:class:`LinkUp`, :class:`LossBurst`,
+  :class:`Corrupt`, :class:`DelayJitter`, :class:`BufferResize`,
+  :class:`BackgroundSurge`) collected into an immutable, JSON-round-
+  tripping :class:`FaultPlan`;
+* :mod:`repro.faults.injector` — the :class:`FaultInjector` that
+  compiles a plan onto a simulator's timeline against a built topology,
+  with per-link seeded randomness and per-fault accounting
+  (:class:`FaultStats`).
+
+Never mutate link state or queue capacities directly to model failures —
+simlint's SIM008 flags that; express the failure as a plan event so it
+is seeded, scheduled, and counted.
+"""
+
+from repro.faults.injector import (
+    FaultInjector,
+    FaultStats,
+    LinkFaultState,
+    SurgeFactory,
+)
+from repro.faults.plan import (
+    BackgroundSurge,
+    BufferResize,
+    Corrupt,
+    DelayJitter,
+    FaultEvent,
+    FaultPlan,
+    LinkDown,
+    LinkUp,
+    LossBurst,
+)
+
+__all__ = [
+    "BackgroundSurge",
+    "BufferResize",
+    "Corrupt",
+    "DelayJitter",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultStats",
+    "LinkDown",
+    "LinkFaultState",
+    "LinkUp",
+    "LossBurst",
+    "SurgeFactory",
+]

@@ -21,6 +21,7 @@ from repro.lint.core import (
 
 __all__ = [
     "ExperimentContractRule",
+    "FaultBypassRule",
     "HandlerReentrancyRule",
     "ModuleMutableStateRule",
     "MutableDefaultRule",
@@ -350,6 +351,75 @@ class HandlerReentrancyRule(Rule):
                         f"event handler {node.name}() calls "
                         f"{'.'.join(chain)}() — kernel re-entry",
                     )
+
+
+@register_rule
+class FaultBypassRule(Rule):
+    """Failures must be modelled through the faults API, not ad hoc.
+
+    Calling another object's ``_deliver`` (forging or suppressing a
+    link delivery) or writing a queue's ``capacity_pkts`` from outside
+    the network layer bypasses the fault subsystem: the impairment is
+    unseeded (not reproducible across workers), unscheduled (invisible
+    to the invariant monitor's fault audit trail), and uncounted (the
+    injected-versus-congestion ledger stays blind to it).  The network
+    and faults layers themselves are exempt — they *are* the sanctioned
+    implementation.
+    """
+
+    id = "SIM008"
+    summary = "direct link/queue tampering bypasses the seeded fault subsystem"
+    fixit = (
+        "express the impairment as a repro.faults.FaultPlan event "
+        "(LossBurst/Corrupt/DelayJitter/LinkDown/BufferResize) armed by "
+        "a FaultInjector; for a sanctioned capacity change call "
+        "queue.resize(), which accounts evictions"
+    )
+
+    #: layers allowed to touch the delivery path and queue capacity:
+    #: the implementation itself.
+    EXEMPT_DIRS = ("/net/", "/faults/")
+
+    def _applies(self, path: str) -> bool:
+        return not any(part in f"/{path}" for part in self.EXEMPT_DIRS)
+
+    @staticmethod
+    def _non_self_attr(node: ast.expr, attr: str) -> bool:
+        """True for ``X.<attr>`` where X is not ``self``/``cls``."""
+        return (
+            isinstance(node, ast.Attribute)
+            and node.attr == attr
+            and not (
+                isinstance(node.value, ast.Name)
+                and node.value.id in ("self", "cls")
+            )
+        )
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        if not self._applies(module.path):
+            return
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Call) and self._non_self_attr(
+                node.func, "_deliver"
+            ):
+                yield from module.finding(
+                    node,
+                    self,
+                    "direct call to a link's _deliver() forges/drops a "
+                    "delivery outside the faults API",
+                )
+            elif isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+                targets = (
+                    node.targets if isinstance(node, ast.Assign) else [node.target]
+                )
+                for target in targets:
+                    if self._non_self_attr(target, "capacity_pkts"):
+                        yield from module.finding(
+                            node,
+                            self,
+                            "direct write to a queue's capacity_pkts "
+                            "mutates buffering outside the faults API",
+                        )
 
 
 @register_rule

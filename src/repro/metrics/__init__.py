@@ -1,5 +1,6 @@
 """Measurement: completion statistics and network monitors."""
 
+from repro.metrics.faults import FaultReport, fault_report
 from repro.metrics.monitors import (
     CwndTracer,
     GoodputMeter,
@@ -22,6 +23,7 @@ from repro.metrics.stats import (
 __all__ = [
     "CompletionSummary",
     "CwndTracer",
+    "FaultReport",
     "GoodputMeter",
     "LoggedPacket",
     "PacketLogger",
@@ -32,6 +34,7 @@ __all__ = [
     "cdf_points",
     "cdf_table",
     "completion_times",
+    "fault_report",
     "jain_fairness",
     "percentile",
     "sparkline",

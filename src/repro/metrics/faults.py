@@ -1,0 +1,70 @@
+"""Fault accounting: injected impairments versus congestion.
+
+A run under fault injection loses packets two ways — the network's own
+congestion (queue overflow, RED early drops) and the injector's
+deliberate impairments (loss bursts, corruption, outages, buffer
+evictions).  Conflating them would make every fault sweep unreadable:
+"did TRIM lose goodput because its window collapsed, or because we cut
+the cable?"  :class:`FaultReport` keeps the two ledgers side by side,
+built from the injector's :class:`~repro.faults.injector.FaultStats`
+and the network's queue counters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.faults.injector import FaultStats
+    from repro.net.topology import Network
+
+__all__ = ["FaultReport", "fault_report"]
+
+
+@dataclass(frozen=True)
+class FaultReport:
+    """Injected-versus-congestion loss ledger for one run."""
+
+    #: packets destroyed by LossBurst windows.
+    injected_drops: int = 0
+    #: packets destroyed by Corrupt windows (dropped at the checksum).
+    corrupted: int = 0
+    #: packets lost mid-flight to a LinkDown outage.
+    down_drops: int = 0
+    #: resident packets evicted by BufferResize shrinks.
+    evictions: int = 0
+    #: deliveries that received DelayJitter extra latency (not lost).
+    delayed: int = 0
+    #: LinkDown events applied.
+    outages: int = 0
+    #: background flows the injector started.
+    surge_flows: int = 0
+    #: packets the *network* refused at its queues (tail drops and RED
+    #: early drops) — congestion's ledger, untouched by the injector.
+    congestion_drops: int = 0
+
+    @property
+    def injected_losses(self) -> int:
+        """Packets the injector destroyed, by any mechanism."""
+        return (self.injected_drops + self.corrupted + self.down_drops
+                + self.evictions)
+
+    @property
+    def total_losses(self) -> int:
+        """Everything lost: injected plus congestion."""
+        return self.injected_losses + self.congestion_drops
+
+
+def fault_report(network: "Network", stats: "FaultStats") -> FaultReport:
+    """Build the ledger from a finished run's network and injector."""
+    return FaultReport(
+        injected_drops=stats.injected_drops,
+        corrupted=stats.corrupted,
+        down_drops=stats.down_drops,
+        evictions=stats.evictions,
+        delayed=stats.delayed,
+        outages=stats.outages,
+        surge_flows=stats.surge_flows,
+        congestion_drops=network.total_dropped(),
+    )

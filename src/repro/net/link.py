@@ -17,6 +17,7 @@ from repro.net.queues import DropTailQueue
 from repro.sim.kernel import Simulator
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.faults.injector import LinkFaultState
     from repro.net.node import Node
 
 __all__ = ["Link", "LinkStats"]
@@ -63,39 +64,61 @@ class Link:
         self.dst_node = dst_node
         self.bandwidth_bps = bandwidth_bps
         self.delay_s = delay_s
-        self.queue = queue
         self.name = name or f"{src_node.name}->{dst_node.name}"
+        self.queue = queue
         self.stats = LinkStats()
         self._busy = False
+        #: carrier state: False while a LinkDown fault holds the link.
+        self._up = True
+        #: impairment windows/counters, attached by a FaultInjector;
+        #: None (the common case) costs one identity check per delivery.
+        self._faults: Optional["LinkFaultState"] = None
         #: seconds per byte, so ``tx_time`` is one multiply on the hot path.
         self._secs_per_byte = 8.0 / bandwidth_bps
-        invariants = getattr(sim, "invariants", None)
-        if invariants is not None:
-            invariants.register_queue(queue, name=self.name)
         # Optional per-delivery hook, e.g. goodput monitors:
         self.on_deliver: Optional[Callable[[Packet], None]] = None
 
     # ------------------------------------------------------------------
     @property
     def queue(self) -> DropTailQueue:
-        """The egress queue.  Assignable (tests swap in RED/ECN queues);
-        the setter refreshes the tick-elision flag."""
+        """The egress queue.  Assignable (tests swap in RED/ECN queues,
+        even mid-run); the setter refreshes the tick-elision flag,
+        migrates any resident backlog into the new queue, and registers
+        the new queue with the invariant monitor."""
         return self._queue
 
     @queue.setter
     def queue(self, queue: DropTailQueue) -> None:
+        old = getattr(self, "_queue", None)
+        ticks = type(queue).tick is not DropTailQueue.tick
+        if old is not None and old is not queue and len(old) > 0:
+            # Mid-run swap with waiting packets: drain the old queue into
+            # the new one in FIFO order.  The new queue's admission policy
+            # applies — overflow (or RED early action) is charged to the
+            # new queue's stats, and both queues keep their conservation
+            # balance (the old one counts the handoff as dequeues).
+            if ticks:
+                queue.tick(self.sim.now)
+            while True:
+                pkt = old.dequeue()
+                if pkt is None:
+                    break
+                queue.enqueue(pkt)
         self._queue = queue
         #: skip the per-packet ``queue.tick`` call entirely for queues
         #: that inherit DropTailQueue's no-op (RED is the only
         #: time-driven queue; drop-tail and ECN marking are not).
-        self._queue_ticks = type(queue).tick is not DropTailQueue.tick
+        self._queue_ticks = ticks
+        invariants = getattr(self.sim, "invariants", None)
+        if invariants is not None:
+            invariants.register_queue(queue, name=self.name)
 
     def send(self, pkt: Packet) -> None:
         """Entry point used by the owning node to emit ``pkt``."""
         queue = self._queue
         if self._queue_ticks:
             queue.tick(self.sim.now)
-        if self._busy:
+        if self._busy or not self._up:
             queue.enqueue(pkt)
             return
         self._transmit(pkt)
@@ -103,6 +126,38 @@ class Link:
     @property
     def busy(self) -> bool:
         return self._busy
+
+    @property
+    def up(self) -> bool:
+        """Carrier state; False while a LinkDown fault is in force."""
+        return self._up
+
+    # ------------------------------------------------------------------
+    # Fault-injection surface (driven by repro.faults.FaultInjector;
+    # direct calls from experiment code trip simlint's SIM008).
+    # ------------------------------------------------------------------
+    def attach_fault_state(self, faults: "LinkFaultState") -> None:
+        """Install the per-link impairment state the injector drives."""
+        self._faults = faults
+
+    def set_down(self) -> None:
+        """Take the carrier down: arrivals keep queueing (up to the
+        queue's capacity), the transmitter pauses after the in-service
+        packet, and every delivery that lands while down is lost."""
+        self._up = False
+
+    def set_up(self) -> None:
+        """Restore the carrier and resume draining the egress queue."""
+        if self._up:
+            return
+        self._up = True
+        if not self._busy:
+            queue = self._queue
+            if self._queue_ticks:
+                queue.tick(self.sim.now)
+            nxt = queue.dequeue()
+            if nxt is not None:
+                self._transmit(nxt)
 
     @property
     def backlog_pkts(self) -> int:
@@ -129,6 +184,11 @@ class Link:
         schedule(tx + self.delay_s, self._deliver, pkt)
 
     def _tx_done(self) -> None:
+        if not self._up:
+            # Outage began while this packet serialized: park the
+            # transmitter; set_up() restarts it from the queue.
+            self._busy = False
+            return
         queue = self._queue
         if self._queue_ticks:
             queue.tick(self.sim.now)
@@ -139,6 +199,24 @@ class Link:
             self._transmit(nxt)
 
     def _deliver(self, pkt: Packet) -> None:
+        if not self._up:
+            # The carrier dropped while the packet propagated: it is
+            # lost, exactly like a cable yanked mid-flight.
+            faults = self._faults
+            if faults is not None:
+                faults.stats.down_drops += 1
+            return
+        faults = self._faults
+        if faults is not None:
+            extra = faults.filter_delivery(pkt, self.sim.now)
+            if extra < 0.0:
+                return  # injected loss/corruption; counted by the state
+            if extra > 0.0:
+                self.sim.schedule_transient(extra, self._arrive, pkt)
+                return
+        self._arrive(pkt)
+
+    def _arrive(self, pkt: Packet) -> None:
         pkt.hops += 1
         if self.on_deliver is not None:
             self.on_deliver(pkt)

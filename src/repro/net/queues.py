@@ -31,6 +31,11 @@ class QueueStats:
     dropped: int = 0
     marked: int = 0
     peak_length: int = 0
+    #: resident packets destroyed by a capacity shrink (fault injection's
+    #: BufferResize), accounted apart from ``dropped`` so congestion
+    #: losses and injected losses stay distinguishable.  Conservation:
+    #: ``enqueued == dequeued + evicted + len(queue)``.
+    evicted: int = 0
 
 
 class DropTailQueue:
@@ -76,6 +81,31 @@ class DropTailQueue:
         self.stats.dequeued += 1
         return self._fifo.popleft()
 
+    def resize(self, capacity_pkts: int) -> int:
+        """Change the capacity at runtime; returns the eviction count.
+
+        Drop semantics, chosen to mirror a switch ASIC reclaiming buffer
+        cells: when the new capacity is below the resident backlog, the
+        *newest* packets are evicted (they are the ones a smaller buffer
+        would have tail-dropped on arrival), counted in
+        ``stats.evicted`` and reported to ``on_drop``.  Growing the
+        capacity never touches resident packets.  This is the one
+        sanctioned mutation of a live queue's capacity — fault plans
+        reach it through ``BufferResize`` events (simlint SIM008 flags
+        direct capacity writes elsewhere).
+        """
+        if capacity_pkts < 1:
+            raise ValueError("queue capacity must be at least 1 packet")
+        self.capacity_pkts = capacity_pkts
+        evicted = 0
+        while len(self._fifo) > capacity_pkts:
+            pkt = self._fifo.pop()  # newest first
+            self.stats.evicted += 1
+            evicted += 1
+            if self.on_drop is not None:
+                self.on_drop(pkt)
+        return evicted
+
     def _admit(self, pkt: Packet) -> None:
         self._fifo.append(pkt)
         self.stats.enqueued += 1
@@ -116,6 +146,13 @@ class EcnQueue(DropTailQueue):
             self.stats.marked += 1
         self._admit(pkt)
         return True
+
+    def resize(self, capacity_pkts: int) -> int:
+        """Resize, clamping the marking threshold into (0, capacity]."""
+        evicted = super().resize(capacity_pkts)
+        if self.mark_threshold_pkts > capacity_pkts:
+            self.mark_threshold_pkts = capacity_pkts
+        return evicted
 
 
 class RedQueue(DropTailQueue):
@@ -195,6 +232,17 @@ class RedQueue(DropTailQueue):
         if pkt is not None and not self._fifo:
             self._idle_since = self.now
         return pkt
+
+    def resize(self, capacity_pkts: int) -> int:
+        """Resize, rescaling both RED thresholds when the new capacity
+        falls below ``max_threshold`` (their ratio — and therefore the
+        shape of the drop-probability ramp — is preserved)."""
+        evicted = super().resize(capacity_pkts)
+        if self.max_threshold > capacity_pkts:
+            scale = capacity_pkts / self.max_threshold
+            self.max_threshold = float(capacity_pkts)
+            self.min_threshold *= scale
+        return evicted
 
     # ------------------------------------------------------------------
     def _update_average(self) -> None:

@@ -10,6 +10,10 @@ out to a process pool, with:
   points are free;
 * per-point timeout and retry with graceful degradation to a partial
   result set;
+* crash-safe checkpointing: an append-only, fsynced JSONL journal of
+  completed points (:class:`~repro.runner.checkpoint.SweepCheckpoint`)
+  that ``resume=True`` replays after a crash or Ctrl-C, re-running only
+  the unfinished points;
 * a progress/ETA reporter.
 
 Typical use::
@@ -24,13 +28,21 @@ Typical use::
 """
 
 from repro.runner.cache import ResultCache
-from repro.runner.engine import PointFailure, SweepRunner, SweepStats
+from repro.runner.checkpoint import SweepCheckpoint
+from repro.runner.engine import (
+    PointFailure,
+    SweepInterrupted,
+    SweepRunner,
+    SweepStats,
+)
 from repro.runner.progress import ProgressReporter
 
 __all__ = [
     "PointFailure",
     "ProgressReporter",
     "ResultCache",
+    "SweepCheckpoint",
+    "SweepInterrupted",
     "SweepRunner",
     "SweepStats",
 ]

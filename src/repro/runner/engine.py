@@ -19,8 +19,22 @@ Failure contract: a point that keeps raising after ``retries``
 re-submissions (or times out) degrades to a ``None`` result; ``reduce``
 receives the partial result set and the failures are recorded on
 :attr:`SweepRunner.last_stats`.  A timed-out point's worker cannot be
-forcibly killed — the retry simply runs concurrently with the straggler
-and the straggler's eventual result is discarded.
+forcibly killed — the retry runs concurrently with the straggler, the
+runner then waits on *all* of that point's submissions, and whichever
+earliest-submitted attempt completes successfully wins (so the outcome
+does not depend on the race); extra completed successes are counted in
+:attr:`SweepStats.duplicate_results`.
+
+Crash contract: give the runner a
+:class:`~repro.runner.checkpoint.SweepCheckpoint` and every completed
+point is journalled durably (flush + fsync) the moment it lands; after
+a crash — including ``kill -9`` mid-sweep — re-running with
+``resume=True`` replays the journalled points for free and executes
+only the unfinished remainder, producing payloads identical to an
+uninterrupted run.  ``KeyboardInterrupt`` is handled the same way but
+gracefully: completed points are already on disk, and the runner raises
+:class:`SweepInterrupted` carrying the partial payloads and stats so
+callers can report before exiting non-zero.
 """
 
 from __future__ import annotations
@@ -29,13 +43,19 @@ import concurrent.futures
 import time
 import warnings
 from dataclasses import dataclass, field
-from typing import Any, Optional, Sequence
+from typing import Any, Callable, Optional, Sequence
 
 from repro.runner.cache import ResultCache
+from repro.runner.checkpoint import SweepCheckpoint, digest_params
 from repro.runner.progress import ProgressReporter
 from repro.sim.randomness import derive_seed
 
-__all__ = ["PointFailure", "SweepRunner", "SweepStats"]
+__all__ = [
+    "PointFailure",
+    "SweepInterrupted",
+    "SweepRunner",
+    "SweepStats",
+]
 
 
 def _execute_point(experiment_id: str, params: Any, point: Any, seed: int) -> Any:
@@ -68,8 +88,32 @@ class SweepStats:
     total_points: int = 0
     executed: int = 0
     cache_hits: int = 0
+    #: points replayed from the checkpoint journal instead of executed.
+    resumed: int = 0
+    #: straggler results that completed after another attempt for the
+    #: same point had already won (kept-first determinism; see the
+    #: failure contract in the module docstring).
+    duplicate_results: int = 0
+    #: True when the sweep was cut short by KeyboardInterrupt; the
+    #: payloads reduce whatever completed before the interrupt.
+    interrupted: bool = False
     failures: list[PointFailure] = field(default_factory=list)
     elapsed: float = 0.0
+
+
+class SweepInterrupted(KeyboardInterrupt):
+    """A sweep stopped early on Ctrl-C, carrying its partial outcome.
+
+    Subclasses :class:`KeyboardInterrupt` so naive callers still unwind
+    as an interrupt; careful callers catch this first and read
+    :attr:`payloads` (one reduced payload per task, built from the
+    points that finished) and :attr:`stats` before exiting non-zero.
+    """
+
+    def __init__(self, payloads: list[Any], stats: SweepStats) -> None:
+        super().__init__("sweep interrupted")
+        self.payloads = payloads
+        self.stats = stats
 
 
 class _Entry:
@@ -77,10 +121,11 @@ class _Entry:
 
     __slots__ = (
         "task_index", "point_index", "experiment", "params", "point",
-        "seed", "cache_key",
+        "seed", "cache_key", "params_digest",
     )
 
-    def __init__(self, task_index, point_index, experiment, params, point, seed):
+    def __init__(self, task_index, point_index, experiment, params, point, seed,
+                 params_digest=""):
         self.task_index = task_index
         self.point_index = point_index
         self.experiment = experiment
@@ -88,6 +133,14 @@ class _Entry:
         self.point = point
         self.seed = seed
         self.cache_key: Optional[str] = None
+        #: folded into the journal key: protocol variants of one
+        #: experiment share labels *and* per-point seeds by design.
+        self.params_digest = params_digest
+
+    @property
+    def journal_key(self):
+        return (self.experiment.id, self.point.label, self.seed,
+                self.params_digest)
 
 
 class SweepRunner:
@@ -111,6 +164,18 @@ class SweepRunner:
     progress:
         True to print per-point progress/ETA lines to stderr, or a
         :class:`~repro.runner.progress.ProgressReporter` to customize.
+    checkpoint:
+        A :class:`~repro.runner.checkpoint.SweepCheckpoint` journalling
+        every completed point durably, or None to disable.  Without
+        ``resume`` the journal is truncated at the start of each run.
+    resume:
+        Replay points already in the checkpoint journal instead of
+        executing them (requires ``checkpoint``).
+    executor_factory:
+        ``max_workers -> Executor`` override for the worker pool
+        (default: :class:`~concurrent.futures.ProcessPoolExecutor`).
+        A seam for tests that need deterministic straggler timing via
+        thread pools; production sweeps should not need it.
     """
 
     def __init__(
@@ -121,11 +186,18 @@ class SweepRunner:
         retries: int = 1,
         progress: Any = False,
         label: str = "sweep",
+        checkpoint: Optional[SweepCheckpoint] = None,
+        resume: bool = False,
+        executor_factory: Optional[
+            Callable[[int], concurrent.futures.Executor]
+        ] = None,
     ) -> None:
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
         if timeout is not None and timeout <= 0:
             raise ValueError("timeout must be positive (or None)")
+        if resume and checkpoint is None:
+            raise ValueError("resume=True requires a checkpoint")
         self.jobs = int(jobs)
         self.cache = cache
         self.timeout = timeout
@@ -136,7 +208,14 @@ class SweepRunner:
             self._reporter = ProgressReporter(label)
         else:
             self._reporter = None
+        self.checkpoint = checkpoint
+        self.resume = bool(resume)
+        self.executor_factory = executor_factory
         self.last_stats: Optional[SweepStats] = None
+        #: set after the first run_many touches the journal, so an
+        #: ``all``-style sequence of calls shares one journal (only the
+        #: first non-resume call truncates it).
+        self._checkpoint_used = False
 
     # ------------------------------------------------------------------
     # Public API
@@ -168,18 +247,36 @@ class SweepRunner:
                 )
             all_points.append(points)
             results.append([None] * len(points))
+            digest = (
+                digest_params(params) if self.checkpoint is not None else ""
+            )
             for point_index, point in enumerate(points):
                 point_seed = derive_seed(seed, f"{experiment.id}/{point.label}")
                 entries.append(
                     _Entry(task_index, point_index, experiment, params,
-                           point, point_seed)
+                           point, point_seed, digest)
                 )
         stats.total_points = len(entries)
         if self._reporter is not None:
             self._reporter.start(len(entries))
 
+        journalled: dict[tuple[str, str, int], Any] = {}
+        if self.checkpoint is not None:
+            if self.resume or self._checkpoint_used:
+                journalled = self.checkpoint.load()
+            else:
+                # A fresh sweep must not inherit another run's records.
+                self.checkpoint.reset()
+            self._checkpoint_used = True
+
         pending: list[_Entry] = []
         for entry in entries:
+            if journalled and entry.journal_key in journalled:
+                value = journalled[entry.journal_key]
+                results[entry.task_index][entry.point_index] = value
+                stats.resumed += 1
+                self._point_done(entry, cached=True)
+                continue
             if self.cache is not None:
                 entry.cache_key = self.cache.key(
                     entry.experiment.id, entry.params, entry.point, entry.seed
@@ -188,42 +285,70 @@ class SweepRunner:
                 if hit is not None:
                     results[entry.task_index][entry.point_index] = hit
                     stats.cache_hits += 1
+                    # A cache hit still lands in the journal: a later
+                    # --resume must not depend on the shared cache
+                    # retaining the entry.
+                    self._journal(entry, hit)
                     self._point_done(entry, cached=True)
                     continue
             pending.append(entry)
 
+        interrupted = False
         if pending:
-            if self.jobs == 1 or len(pending) == 1:
-                self._run_inline(pending, results, stats)
-            else:
-                self._run_pool(pending, results, stats)
+            try:
+                if self.jobs == 1 or len(pending) == 1:
+                    self._run_inline(pending, results, stats)
+                else:
+                    self._run_pool(pending, results, stats)
+            except KeyboardInterrupt:
+                interrupted = True
 
         stats.elapsed = time.perf_counter() - started
+        stats.interrupted = interrupted
         if self._reporter is not None:
             self._reporter.finish()
         self.last_stats = stats
-        if stats.failures:
+        if stats.failures and not interrupted:
             warnings.warn(
                 f"{len(stats.failures)} sweep point(s) failed; "
                 "payloads reduce a partial result set",
                 RuntimeWarning,
                 stacklevel=2,
             )
-        return [
-            experiment.reduce(params, points, task_results)
-            for (experiment, params), points, task_results in zip(
-                tasks, all_points, results
-            )
-        ]
+        payloads: list[Any] = []
+        for (experiment, params), points, task_results in zip(
+            tasks, all_points, results
+        ):
+            if interrupted:
+                # Best-effort partials: a reduce written for complete
+                # sweeps may choke on the holes; the journal already
+                # holds everything needed to resume either way.
+                try:
+                    payloads.append(experiment.reduce(params, points, task_results))
+                except Exception:  # noqa: BLE001
+                    payloads.append(None)
+            else:
+                payloads.append(experiment.reduce(params, points, task_results))
+        if interrupted:
+            raise SweepInterrupted(payloads, stats)
+        return payloads
 
     # ------------------------------------------------------------------
     # Resolution paths
     # ------------------------------------------------------------------
+    def _journal(self, entry: _Entry, value: Any) -> None:
+        if self.checkpoint is not None and value is not None:
+            self.checkpoint.record(
+                entry.experiment.id, entry.point.label, entry.seed, value,
+                params_digest=entry.params_digest,
+            )
+
     def _record(self, entry: _Entry, value: Any, results, stats) -> None:
         results[entry.task_index][entry.point_index] = value
         stats.executed += 1
         if self.cache is not None and entry.cache_key is not None and value is not None:
             self.cache.put(entry.cache_key, value)
+        self._journal(entry, value)
         self._point_done(entry)
 
     def _fail(self, entry: _Entry, error: str, attempts: int, stats) -> None:
@@ -245,6 +370,8 @@ class SweepRunner:
                     value = entry.experiment.run_point(
                         entry.params, entry.point, entry.seed
                     )
+                except KeyboardInterrupt:
+                    raise
                 except Exception as exc:  # noqa: BLE001 - degrade, don't die
                     if attempts > self.retries:
                         self._fail(
@@ -255,45 +382,106 @@ class SweepRunner:
                 self._record(entry, value, results, stats)
                 break
 
+    def _make_pool(self, max_workers: int) -> concurrent.futures.Executor:
+        if self.executor_factory is not None:
+            return self.executor_factory(max_workers)
+        return concurrent.futures.ProcessPoolExecutor(max_workers=max_workers)
+
     def _run_pool(self, pending, results, stats) -> None:
         max_workers = min(self.jobs, len(pending))
-        with concurrent.futures.ProcessPoolExecutor(max_workers=max_workers) as pool:
-            futures = {
-                id(entry): pool.submit(
+        pool = self._make_pool(max_workers)
+        #: (entry, future) pairs still in flight after their entry was
+        #: already decided — stragglers whose eventual successes are
+        #: counted as duplicates, never recorded.
+        leftovers: list[tuple[_Entry, concurrent.futures.Future]] = []
+        try:
+            # All attempts for an entry, in submission order.  The list
+            # only grows (stragglers are never discarded), so "earliest
+            # successful submission" is a deterministic choice however
+            # the straggler/retry race resolves.
+            futures: dict[int, list[concurrent.futures.Future]] = {
+                id(entry): [pool.submit(
                     _execute_point, entry.experiment.id, entry.params,
                     entry.point, entry.seed,
-                )
+                )]
                 for entry in pending
             }
             for entry in pending:
-                attempts = 0
+                attempts = futures[id(entry)]
                 while True:
-                    attempts += 1
-                    future = futures[id(entry)]
+                    # Wait only on attempts not yet finished — waiting on
+                    # the full list would return immediately forever once
+                    # one attempt has failed.
+                    unfinished = [f for f in attempts if not f.done()]
+                    progressed = False
+                    if unfinished:
+                        done_now, _ = concurrent.futures.wait(
+                            unfinished,
+                            timeout=self.timeout,
+                            return_when=concurrent.futures.FIRST_COMPLETED,
+                        )
+                        progressed = bool(done_now)
+                    winner = None
                     error = None
-                    try:
-                        value = future.result(timeout=self.timeout)
-                    except concurrent.futures.TimeoutError:
-                        future.cancel()
+                    for future in attempts:  # submission order
+                        if not future.done() or future.cancelled():
+                            continue
+                        exc = future.exception()
+                        if exc is not None:
+                            error = f"{type(exc).__name__}: {exc}"
+                        elif winner is None:
+                            winner = future
+                        else:
+                            stats.duplicate_results += 1
+                    if winner is not None:
+                        self._record(entry, winner.result(), results, stats)
+                        leftovers.extend(
+                            (entry, future) for future in attempts
+                            if not future.done()
+                        )
+                        break
+                    timed_out = bool(unfinished) and not progressed
+                    if timed_out:
                         error = f"timed out after {self.timeout}s"
-                    except Exception as exc:  # noqa: BLE001
-                        error = f"{type(exc).__name__}: {exc}"
-                    if error is None:
-                        self._record(entry, value, results, stats)
-                        break
-                    if attempts > self.retries:
-                        self._fail(entry, error, attempts, stats)
-                        break
-                    try:
-                        futures[id(entry)] = pool.submit(
-                            _execute_point, entry.experiment.id, entry.params,
-                            entry.point, entry.seed,
-                        )
-                    except Exception as exc:  # pool broken beyond repair
-                        self._fail(
-                            entry,
-                            f"retry submission failed: {type(exc).__name__}: {exc}",
-                            attempts,
-                            stats,
-                        )
-                        break
+                    if len(attempts) <= self.retries:
+                        try:
+                            attempts.append(pool.submit(
+                                _execute_point, entry.experiment.id,
+                                entry.params, entry.point, entry.seed,
+                            ))
+                        except Exception as exc:  # pool broken beyond repair
+                            self._fail(
+                                entry,
+                                f"retry submission failed: "
+                                f"{type(exc).__name__}: {exc}",
+                                len(attempts),
+                                stats,
+                            )
+                            break
+                        continue
+                    still_running = [f for f in attempts if not f.done()]
+                    if still_running and not timed_out:
+                        # Submissions exhausted; an attempt just failed
+                        # but stragglers remain in flight.  Grant them
+                        # another timeout window — a late success still
+                        # wins over a recorded failure.
+                        continue
+                    for future in still_running:
+                        future.cancel()
+                    self._fail(entry, error or "no result", len(attempts), stats)
+                    break
+        except KeyboardInterrupt:
+            # Don't block the Ctrl-C on stragglers: drop queued work and
+            # leave without waiting for running futures.
+            pool.shutdown(wait=False, cancel_futures=True)
+            raise
+        else:
+            if leftovers:
+                # The pool shutdown below waits for these anyway; count
+                # the straggler successes the race would have discarded.
+                concurrent.futures.wait([future for _, future in leftovers])
+                for _, future in leftovers:
+                    if (future.done() and not future.cancelled()
+                            and future.exception() is None):
+                        stats.duplicate_results += 1
+            pool.shutdown(wait=True)

@@ -10,9 +10,10 @@ while the simulation runs:
 
 * **monotonic time** — executed events never move the clock backwards;
 * **packet conservation** — for every registered queue,
-  ``enqueued == dequeued + resident`` (drops are counted on arrival and
-  never enter the FIFO, so an uncounted drop or a silent eviction breaks
-  the balance);
+  ``enqueued == dequeued + evicted + resident`` (drops are counted on
+  arrival and never enter the FIFO; resident packets destroyed by an
+  injected ``BufferResize`` are counted as ``evicted`` — so an
+  uncounted drop or an unaccounted eviction breaks the balance);
 * **protocol-state sanity** — per flow, ``cwnd >= 1`` segment (1 MSS),
   ``bytes_in_flight >= 0``, and flight never exceeding the high-water
   send window (+2 segments of slack for TCP-TRIM's probe pair, which
@@ -27,7 +28,7 @@ not produce a figure.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Any
+from typing import TYPE_CHECKING, Any, Optional
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.net.queues import DropTailQueue
@@ -61,12 +62,24 @@ class InvariantMonitor:
         #: per-flow high-water effective send window, in segments.
         self._window_hwm: dict[int, float] = {}
         self._last_event_time: float = float("-inf")
+        #: audit trail of injected faults: count and last application.
+        self.faults_seen: int = 0
+        self.last_fault: Optional[tuple[float, str]] = None
+        self._last_fault_time: float = float("-inf")
 
     # ------------------------------------------------------------------
     # Registration (components call these from their constructors)
     # ------------------------------------------------------------------
     def register_queue(self, queue: Any, name: str = "") -> None:
-        """Track ``queue`` (anything with ``stats`` and ``__len__``)."""
+        """Track ``queue`` (anything with ``stats`` and ``__len__``).
+
+        Idempotent per queue object: links re-register through their
+        ``queue`` setter on every swap, and a queue must not be checked
+        (or counted) twice.
+        """
+        for registered, _ in self._queues:
+            if registered is queue:
+                return
         self._queues.append((queue, name or getattr(queue, "name", "") or "queue"))
 
     def register_flow(self, source: "TcpSource") -> None:
@@ -94,6 +107,22 @@ class InvariantMonitor:
         self._window_hwm[id(source)] = max(hwm, float(source._window_segments()))
         self._check_flow(source)
 
+    def on_fault(self, time: float, description: str) -> None:
+        """Called by the kernel when a fault event is applied.
+
+        Keeps an audit trail (count + last fault) and asserts the fault
+        schedule itself is monotonic — an injector applying faults out of
+        order would silently break the determinism contract.
+        """
+        if time < self._last_fault_time:
+            raise InvariantViolation(
+                f"fault applied out of order: {description!r} at {time!r} "
+                f"after a fault at {self._last_fault_time!r}"
+            )
+        self._last_fault_time = time
+        self.faults_seen += 1
+        self.last_fault = (time, description)
+
     # ------------------------------------------------------------------
     # The checks
     # ------------------------------------------------------------------
@@ -112,13 +141,15 @@ class InvariantMonitor:
     def _check_queue(self, queue: Any, name: str) -> None:
         stats = queue.stats
         resident = len(queue)
-        if stats.enqueued != stats.dequeued + resident:
+        evicted = getattr(stats, "evicted", 0)
+        if stats.enqueued != stats.dequeued + evicted + resident:
             raise InvariantViolation(
                 f"packet conservation broken at queue {name!r}: "
                 f"enqueued={stats.enqueued} != dequeued={stats.dequeued} "
-                f"+ resident={resident} (dropped={stats.dropped} arrivals "
-                "were refused before admission and are accounted "
-                "separately) — packets were created or destroyed"
+                f"+ evicted={evicted} + resident={resident} "
+                f"(dropped={stats.dropped} arrivals were refused before "
+                "admission and are accounted separately) — packets were "
+                "created or destroyed"
             )
         if stats.enqueued < 0 or stats.dequeued < 0 or stats.dropped < 0:
             raise InvariantViolation(

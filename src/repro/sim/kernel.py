@@ -428,6 +428,19 @@ class Simulator:
                 continue
             return None
 
+    def notify_fault(self, description: str) -> None:
+        """Report an injected fault (link outage, loss burst, buffer
+        resize...) taking effect at the current simulation time.
+
+        The fault-injection layer calls this as each fault event is
+        applied, so the invariant monitor can keep an audit trail of
+        deliberate impairments and distinguish them from genuine
+        conservation violations.  A no-op when checking is off — chaos
+        runs pay for the bookkeeping only when they asked for it.
+        """
+        if self.invariants is not None:
+            self.invariants.on_fault(self.now, description)
+
     @property
     def pending(self) -> int:
         """Number of non-cancelled events still queued.  O(1)."""

@@ -18,9 +18,25 @@ class TestArgumentParsing:
         expected = {
             "fig1", "fig2", "fig4", "fig5", "fig6", "fig7", "fig8",
             "fig9", "fig10", "fig11", "fig12", "table1", "fig13a",
-            "fig13be", "ablations", "incast",
+            "fig13be", "ablations", "incast", "faults",
         }
         assert expected == set(cli.EXPERIMENTS)
+
+    def test_resume_requires_checkpointing(self):
+        with pytest.raises(SystemExit):
+            cli.main(["faults", "--resume", "--no-checkpoint"])
+
+    def test_fault_plan_rejected_for_wrong_experiment(self, tmp_path):
+        plan = tmp_path / "plan.json"
+        plan.write_text('[{"kind": "link_down", "time": 0.1}]')
+        with pytest.raises(SystemExit):
+            cli.main(["fig4", "--fault-plan", str(plan)])
+
+    def test_malformed_fault_plan_rejected_at_parse_time(self, tmp_path):
+        plan = tmp_path / "plan.json"
+        plan.write_text('[{"kind": "meteor_strike", "time": 0.1}]')
+        with pytest.raises(SystemExit):
+            cli.main(["faults", "--fault-plan", str(plan)])
 
 
 class TestExecution:
@@ -39,3 +55,27 @@ class TestExecution:
         out = capsys.readouterr().out
         assert "inherited cwnd" in out
         assert "timeouts/conn" in out
+
+    def test_faults_experiment_with_plan_checkpoint_and_resume(
+        self, tmp_path, capsys
+    ):
+        plan = tmp_path / "plan.json"
+        plan.write_text(
+            '[{"kind": "loss_burst", "time": 0.05, "link": "sw->frontend",'
+            ' "rate": 0.2, "duration": 0.1}]'
+        )
+        journal = tmp_path / "journal.jsonl"
+        argv = [
+            "faults", "--preset", "quick", "--protocols", "reno",
+            "--no-cache", "--fault-plan", str(plan),
+            "--checkpoint", str(journal),
+        ]
+        assert cli.main(argv) == 0
+        out = capsys.readouterr().out
+        assert "fault intensity" in out
+        assert "injected" in out
+        assert journal.exists()
+
+        assert cli.main(argv + ["--resume"]) == 0
+        out = capsys.readouterr().out
+        assert "2/2 resumed" in out

@@ -23,7 +23,7 @@ class TestFramework:
         rules = all_rules()
         ids = [r.id for r in rules]
         assert ids == sorted(ids)
-        assert ids == [f"SIM{n:03d}" for n in range(1, 8)]
+        assert ids == [f"SIM{n:03d}" for n in range(1, 9)]
         for rule in rules:
             assert rule.summary and rule.fixit
 
@@ -227,6 +227,45 @@ class TestSim007ExperimentContract:
         assert lint_source(src) == []
 
 
+class TestSim008FaultBypass:
+    def test_flags_direct_deliver_call(self):
+        src = "def chaos(link, pkt):\n    link._deliver(pkt)\n"
+        findings = lint_source(src, path="repro/experiments/chaos.py")
+        assert rule_ids(findings) == ["SIM008"]
+        assert "FaultPlan" in findings[0].fixit
+
+    def test_flags_capacity_write_and_augment(self):
+        src = "def shrink(queue):\n    queue.capacity_pkts = 2\n"
+        assert rule_ids(
+            lint_source(src, path="repro/experiments/chaos.py")
+        ) == ["SIM008"]
+        src = "def shrink(queue):\n    queue.capacity_pkts -= 4\n"
+        assert rule_ids(
+            lint_source(src, path="repro/experiments/chaos.py")
+        ) == ["SIM008"]
+
+    def test_self_receiver_is_fine(self):
+        # TcpSink has its own _deliver; queues assign their own capacity.
+        src = (
+            "class Sink:\n"
+            "    def receive(self, pkt):\n"
+            "        self._deliver(pkt)\n"
+            "    def grow(self):\n"
+            "        self.capacity_pkts = 8\n"
+        )
+        assert lint_source(src, path="repro/tcp/sink.py") == []
+
+    def test_net_and_faults_layers_are_exempt(self):
+        src = "def deliver(link, pkt):\n    link._deliver(pkt)\n"
+        assert lint_source(src, path="repro/net/link.py") == []
+        src = "def shrink(queue):\n    queue.capacity_pkts = 2\n"
+        assert lint_source(src, path="repro/faults/injector.py") == []
+
+    def test_sanctioned_resize_is_fine(self):
+        src = "def shrink(queue):\n    queue.resize(2)\n"
+        assert lint_source(src, path="repro/experiments/chaos.py") == []
+
+
 class TestCli:
     def test_nonzero_exit_and_fixit_on_findings(self, tmp_path, capsys):
         bad = tmp_path / "bad.py"
@@ -252,7 +291,7 @@ class TestCli:
     def test_list_rules(self, capsys):
         assert lint_main(["--list-rules"]) == 0
         out = capsys.readouterr().out
-        for n in range(1, 8):
+        for n in range(1, 9):
             assert f"SIM{n:03d}" in out
 
     def test_directory_walk(self, tmp_path):

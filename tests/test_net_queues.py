@@ -4,7 +4,7 @@ import pytest
 from hypothesis import given, strategies as st
 
 from repro.net.packet import DATA, Packet
-from repro.net.queues import DropTailQueue, EcnQueue
+from repro.net.queues import DropTailQueue, EcnQueue, RedQueue
 
 
 def pkt(ecn=False, seq=0):
@@ -109,6 +109,75 @@ class TestEcnQueue:
         assert not fresh.ecn_ce
 
 
+class TestResize:
+    """Runtime capacity changes (fault injection's BufferResize)."""
+
+    def test_shrink_evicts_newest_first(self):
+        q = DropTailQueue(5)
+        for i in range(5):
+            q.enqueue(pkt(seq=i))
+        evicted = q.resize(2)
+        assert evicted == 3
+        assert q.stats.evicted == 3
+        assert q.capacity_pkts == 2
+        # Survivors are the oldest arrivals, still in FIFO order.
+        assert [q.dequeue().seq for _ in range(2)] == [0, 1]
+
+    def test_evictions_reported_to_on_drop(self):
+        q = DropTailQueue(3)
+        victims = []
+        q.on_drop = victims.append
+        for i in range(3):
+            q.enqueue(pkt(seq=i))
+        q.resize(1)
+        assert [p.seq for p in victims] == [2, 1]  # newest first
+
+    def test_grow_never_touches_residents(self):
+        q = DropTailQueue(2)
+        q.enqueue(pkt(seq=0))
+        q.enqueue(pkt(seq=1))
+        assert q.resize(10) == 0
+        assert q.stats.evicted == 0
+        assert len(q) == 2
+        assert q.enqueue(pkt(seq=2))  # the new headroom is usable
+
+    def test_evictions_kept_apart_from_congestion_drops(self):
+        q = DropTailQueue(2)
+        q.enqueue(pkt(seq=0))
+        q.enqueue(pkt(seq=1))
+        q.enqueue(pkt(seq=2))  # congestion drop
+        q.resize(1)  # eviction
+        assert q.stats.dropped == 1
+        assert q.stats.evicted == 1
+        # Conservation holds with evictions accounted separately.
+        assert q.stats.enqueued == q.stats.dequeued + q.stats.evicted + len(q)
+
+    def test_resize_below_one_rejected(self):
+        with pytest.raises(ValueError):
+            DropTailQueue(4).resize(0)
+
+    def test_ecn_resize_clamps_mark_threshold(self):
+        q = EcnQueue(10, mark_threshold_pkts=8)
+        q.resize(4)
+        assert q.mark_threshold_pkts == 4
+        q.resize(10)  # growing back does not move the clamped threshold
+        assert q.mark_threshold_pkts == 4
+
+    def test_red_resize_rescales_thresholds_preserving_ramp(self):
+        q = RedQueue(20, min_threshold=5, max_threshold=15)
+        q.resize(6)
+        assert q.max_threshold == 6.0
+        assert q.min_threshold == pytest.approx(2.0)  # 5 * (6/15)
+        ratio = q.min_threshold / q.max_threshold
+        assert ratio == pytest.approx(5 / 15)
+
+    def test_red_resize_above_thresholds_leaves_them_alone(self):
+        q = RedQueue(20, min_threshold=5, max_threshold=15)
+        q.resize(30)
+        assert q.min_threshold == 5
+        assert q.max_threshold == 15
+
+
 @given(
     capacity=st.integers(min_value=1, max_value=20),
     ops=st.lists(st.sampled_from(["enq", "deq"]), max_size=200),
@@ -126,3 +195,29 @@ def test_property_packet_conservation(capacity, ops):
         assert len(q) <= capacity
     assert offered == dequeued + q.stats.dropped + len(q)
     assert q.stats.dequeued == dequeued
+
+
+@given(
+    ops=st.lists(
+        st.one_of(
+            st.just(("enq", 0)),
+            st.just(("deq", 0)),
+            st.tuples(st.just("resize"), st.integers(min_value=1, max_value=20)),
+        ),
+        max_size=200,
+    )
+)
+def test_property_conservation_with_resize(ops):
+    """enqueued == dequeued + evicted + resident across arbitrary resizes."""
+    q = DropTailQueue(10)
+    seq = 0
+    for op, arg in ops:
+        if op == "enq":
+            q.enqueue(pkt(seq=seq))
+            seq += 1
+        elif op == "deq":
+            q.dequeue()
+        else:
+            q.resize(arg)
+        assert len(q) <= q.capacity_pkts
+        assert q.stats.enqueued == q.stats.dequeued + q.stats.evicted + len(q)
