@@ -32,6 +32,7 @@ from repro.net import (
     build_star,
     build_two_level_tree,
 )
+from repro.obs import CwndTimeline, QueueTimeline, Telemetry, TraceSpec
 from repro.runner import ResultCache, SweepCheckpoint, SweepRunner
 from repro.sim import (
     InvariantMonitor,
@@ -74,6 +75,7 @@ def experiment_ids() -> list[str]:
 
 
 __all__ = [
+    "CwndTimeline",
     "Experiment",
     "FaultInjector",
     "FaultPlan",
@@ -84,6 +86,7 @@ __all__ = [
     "Network",
     "PROTOCOLS",
     "Point",
+    "QueueTimeline",
     "RandomStreams",
     "ResultCache",
     "Simulator",
@@ -93,6 +96,8 @@ __all__ = [
     "TcpConfig",
     "TcpSink",
     "TcpSource",
+    "Telemetry",
+    "TraceSpec",
     "TrimSource",
     "build_fat_tree",
     "build_multi_hop",

@@ -75,6 +75,14 @@ class TrimSource(TcpSource):
         smooth_alpha: float = SMOOTH_ALPHA,
     ) -> None:
         super().__init__(sim, host, flow_id, dst_id, config=config, name=name)
+        if base_rtt is not None and base_rtt <= 0:
+            # Eq. (1) divides by min_RTT, which a configured base_rtt
+            # seeds; zero or negative would poison every re-inheritance.
+            raise ValueError(f"base_rtt must be positive, got {base_rtt!r}")
+        if capacity_pps is not None and capacity_pps <= 0:
+            raise ValueError(
+                f"capacity_pps must be positive, got {capacity_pps!r}"
+            )
         self.capacity_pps = capacity_pps
         self.base_rtt = base_rtt
         self.smooth_rtt = EwmaRtt(smooth_alpha)
@@ -142,11 +150,20 @@ class TrimSource(TcpSource):
         # smoothed RTT, so the estimator always has a value here.
         assert deadline is not None
         self._probe_deadline = self.sim.schedule(deadline, self._on_probe_deadline)
+        tel = self.sim.telemetry
+        if tel is not None:
+            tel.on_probe(
+                self.sim.now, self.flow_id, "enter",
+                saved_cwnd=self._saved_cwnd, n_probes=n_probes,
+            )
 
     def _on_probe_deadline(self) -> None:
         self._probe_deadline = None
         if self.probing:
             self.probes_timed_out += 1
+            tel = self.sim.telemetry
+            if tel is not None:
+                tel.on_probe(self.sim.now, self.flow_id, "timeout")
             self._finish_probe(success=False)
 
     def _finish_probe(self, success: bool) -> None:
@@ -155,7 +172,12 @@ class TrimSource(TcpSource):
         if self._probe_deadline is not None:
             self._probe_deadline.cancel()
             self._probe_deadline = None
-        if success and self._probe_rtts and self.min_rtt:
+        factor: Optional[float] = None
+        # ``is not None`` rather than truthiness: a (pathological but
+        # valid) measured min_RTT could be arbitrarily small, and the
+        # construction-time check guarantees a seeded value is positive —
+        # a falsy 0.0 must not silently demote a successful probe round.
+        if success and self._probe_rtts and self.min_rtt is not None:
             self.probes_completed += 1
             probe_rtt = sum(self._probe_rtts) / len(self._probe_rtts)
             factor = 1.0 - (probe_rtt - self.min_rtt) / self.min_rtt  # Eq. (1)
@@ -173,6 +195,14 @@ class TrimSource(TcpSource):
         else:
             self.cwnd = self.config.min_cwnd
             self.ssthresh = max(self.cwnd, self.config.min_cwnd)
+        tel = self.sim.telemetry
+        if tel is not None:
+            tel.on_probe(
+                self.sim.now, self.flow_id, "inherit",
+                success=success, factor=factor, cwnd=self.cwnd,
+                saved_cwnd=self._saved_cwnd,
+            )
+            tel.on_cwnd(self.sim.now, self.flow_id, self.cwnd, self.ssthresh)
         self._probe_seqs.clear()
         self._probe_rtts.clear()
         # Restart the gap clock: the probe round trip itself must not
@@ -203,8 +233,12 @@ class TrimSource(TcpSource):
     def _on_ack_pre_increase(self, newly_acked: int, pkt: Packet) -> bool:
         if pkt.echo_probe and self.probing and pkt.for_seq in self._probe_seqs:
             self._probe_seqs.discard(pkt.for_seq)
-            if not pkt.echo_retx:
-                self._probe_rtts.append(self.sim.now - pkt.ts_echo)
+            sample = None if pkt.echo_retx else self.sim.now - pkt.ts_echo
+            if sample is not None:
+                self._probe_rtts.append(sample)
+            tel = self.sim.telemetry
+            if tel is not None:
+                tel.on_probe(self.sim.now, self.flow_id, "ack", rtt=sample)
             if not self._probe_seqs:
                 self._finish_probe(success=True)
             elif self._probe_deadline is not None and self.smooth_rtt.value:

@@ -86,6 +86,16 @@ def _report_partial(tasks, payloads) -> None:
 
 
 def main(argv: list[str] | None = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "trace":
+        # ``trace`` is a report subcommand, not an experiment: render or
+        # validate JSONL trace files written by --trace runs.  Dispatched
+        # before argparse because the experiment positional has a closed
+        # choice list.
+        from repro.obs import report
+
+        return report.main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
         description="Run TCP-TRIM reproduction experiments.",
@@ -160,6 +170,24 @@ def main(argv: list[str] | None = None) -> int:
         "simulation, including sweep worker processes",
     )
     parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="SPEC",
+        help="flight-recorder capture: comma-separated channels "
+        "(cwnd, rtt, state, probe, queue, rto, fault or 'all'), with "
+        "optional @N decimation on sample channels and flow=<id>/"
+        "link=<glob> filters, e.g. 'cwnd@8,probe,queue'; one JSONL "
+        "trace file is written per executed sweep point (see "
+        "EXPERIMENTS.md, Tracing)",
+    )
+    parser.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="DIR",
+        help="directory for the per-point JSONL trace files "
+        "(default: ./traces); requires --trace",
+    )
+    parser.add_argument(
         "--output",
         default=None,
         help="write a JSON artifact of the measured results to this path",
@@ -185,6 +213,20 @@ def main(argv: list[str] | None = None) -> int:
         # including those built inside sweep worker processes, which
         # inherit it across the fork/spawn boundary.
         os.environ["REPRO_CHECK_INVARIANTS"] = "1"
+    if args.trace_out is not None and args.trace is None:
+        parser.error("--trace-out requires --trace")
+    if args.trace is not None:
+        from repro.obs import TraceSpec
+
+        try:
+            spec = TraceSpec.parse(args.trace)
+        except ValueError as exc:
+            parser.error(f"--trace: {exc}")
+        # Same channel as --check-invariants: the environment reaches
+        # every Simulator, inline or in a sweep worker.
+        os.environ["REPRO_TRACE"] = spec.to_string()
+        if args.trace_out is not None:
+            os.environ["REPRO_TRACE_OUT"] = args.trace_out
     args.protocols = [p.strip() for p in args.protocols.split(",") if p.strip()]
     if args.jobs < 1:
         parser.error("--jobs must be >= 1")
@@ -299,6 +341,13 @@ def main(argv: list[str] | None = None) -> int:
                 file=sys.stderr,
             )
     total_hits, total_executed = totals["hits"], totals["executed"]
+    if args.trace is not None and not interrupted:
+        from repro.obs.capture import trace_dir
+
+        print(
+            f"traces written to {trace_dir()}/ "
+            "(render with: python -m repro.experiments trace <file>)"
+        )
     if args.output and not interrupted:
         from repro.experiments.store import save_results
 

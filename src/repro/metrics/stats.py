@@ -32,14 +32,16 @@ def completion_times(messages: Iterable[Message]) -> list[float]:
 
 def act(times: Sequence[float]) -> float:
     """Average completion time.  Raises on an empty sample."""
-    if not times:
+    # len(), not truthiness: a numpy array raises "truth value is
+    # ambiguous" under ``not arr`` for any length > 1.
+    if len(times) == 0:
         raise ValueError("no completed messages to average")
     return float(np.mean(times))
 
 
 def percentile(times: Sequence[float], q: float) -> float:
     """The q-th percentile (0–100) of completion times."""
-    if not times:
+    if len(times) == 0:
         raise ValueError("no samples")
     if not 0 <= q <= 100:
         raise ValueError("percentile must be in [0, 100]")
@@ -68,7 +70,7 @@ class CompletionSummary:
 
 def summarize(times: Sequence[float]) -> CompletionSummary:
     """Summary statistics for a completion-time sample."""
-    if not times:
+    if len(times) == 0:
         raise ValueError("no samples to summarize")
     arr = np.asarray(times, dtype=float)
     return CompletionSummary(
@@ -92,7 +94,7 @@ def cdf_points(samples: Sequence[float]) -> tuple[np.ndarray, np.ndarray]:
 
 def jain_fairness(shares: Sequence[float]) -> float:
     """Jain's fairness index: ``(Σx)² / (n·Σx²)``; 1.0 is perfectly fair."""
-    if not shares:
+    if len(shares) == 0:
         raise ValueError("no shares")
     arr = np.asarray(shares, dtype=float)
     if np.any(arr < 0):

@@ -33,8 +33,11 @@ class LoggedPacket:
 class PacketLogger:
     """Records every packet a link delivers.
 
-    Chains with any previously installed ``on_deliver`` hook, so several
-    observers can share a link.
+    Registers as a link delivery *observer* (``Link.add_observer``), so
+    any number of loggers and monitors can share a link and detach in
+    any order.  (The old save-and-restore ``on_deliver`` chaining
+    silently dropped other observers whenever detaches were not strictly
+    LIFO; simlint's SIM009 now flags that idiom.)
     """
 
     def __init__(
@@ -47,12 +50,10 @@ class PacketLogger:
         self.flow_id = flow_id
         self.data_only = data_only
         self.records: list[LoggedPacket] = []
-        self._previous_hook = link.on_deliver
-        link.on_deliver = self._on_deliver
+        self._attached = True
+        link.add_observer(self._on_deliver)
 
     def _on_deliver(self, pkt: Packet) -> None:
-        if self._previous_hook is not None:
-            self._previous_hook(pkt)
         if self.data_only and not pkt.is_data:
             return
         if self.flow_id is not None and pkt.flow_id != self.flow_id:
@@ -68,8 +69,10 @@ class PacketLogger:
         )
 
     def detach(self) -> None:
-        """Stop logging and restore the link's previous hook."""
-        self.link.on_deliver = self._previous_hook
+        """Stop logging.  Idempotent; other observers are unaffected."""
+        if self._attached:
+            self._attached = False
+            self.link.remove_observer(self._on_deliver)
 
     def __len__(self) -> int:
         return len(self.records)

@@ -75,8 +75,14 @@ class Link:
         self._faults: Optional["LinkFaultState"] = None
         #: seconds per byte, so ``tx_time`` is one multiply on the hot path.
         self._secs_per_byte = 8.0 / bandwidth_bps
-        # Optional per-delivery hook, e.g. goodput monitors:
-        self.on_deliver: Optional[Callable[[Packet], None]] = None
+        # Per-delivery observers.  ``on_deliver`` (a property) is the
+        # legacy single-hook slot; ``add_observer`` is the supported way
+        # to stack several monitors on one link.  ``_deliver_hooks`` is
+        # the flattened call list — a tuple rebuilt on every change so
+        # ``_arrive`` pays one attribute load when nobody listens.
+        self._deliver_legacy: Optional[Callable[[Packet], None]] = None
+        self._observers: list[Callable[[Packet], None]] = []
+        self._deliver_hooks: tuple[Callable[[Packet], None], ...] = ()
 
     # ------------------------------------------------------------------
     @property
@@ -112,6 +118,58 @@ class Link:
         invariants = getattr(self.sim, "invariants", None)
         if invariants is not None:
             invariants.register_queue(queue, name=self.name)
+        telemetry = getattr(self.sim, "telemetry", None)
+        tap = (
+            telemetry.queue_tap(self.sim, self.name)
+            if telemetry is not None
+            else None
+        )
+        #: flight-recorder tap; shared with the queue so its drop/mark/
+        #: evict branches can report causes (None when tracing is off).
+        self._tap = tap
+        queue.tap = tap
+
+    # ------------------------------------------------------------------
+    # Delivery observers
+    # ------------------------------------------------------------------
+    @property
+    def on_deliver(self) -> Optional[Callable[[Packet], None]]:
+        """Legacy single per-delivery hook (runs before observers).
+
+        Kept assignable for existing code, but new monitors should use
+        :meth:`add_observer` — chaining by saving and restoring this
+        attribute breaks as soon as hooks detach out of LIFO order
+        (simlint's SIM009 flags the idiom).
+        """
+        return self._deliver_legacy
+
+    @on_deliver.setter
+    def on_deliver(self, hook: Optional[Callable[[Packet], None]]) -> None:
+        self._deliver_legacy = hook
+        self._rebuild_hooks()
+
+    def add_observer(self, fn: Callable[[Packet], None]) -> None:
+        """Append a per-delivery observer.  Observers run after the
+        legacy ``on_deliver`` hook, in registration order."""
+        self._observers.append(fn)
+        self._rebuild_hooks()
+
+    def remove_observer(self, fn: Callable[[Packet], None]) -> None:
+        """Remove an observer registered with :meth:`add_observer`;
+        unknown observers are ignored so teardown is idempotent and
+        order-independent."""
+        try:
+            self._observers.remove(fn)
+        except ValueError:
+            return
+        self._rebuild_hooks()
+
+    def _rebuild_hooks(self) -> None:
+        hooks: list[Callable[[Packet], None]] = []
+        if self._deliver_legacy is not None:
+            hooks.append(self._deliver_legacy)
+        hooks.extend(self._observers)
+        self._deliver_hooks = tuple(hooks)
 
     def send(self, pkt: Packet) -> None:
         """Entry point used by the owning node to emit ``pkt``."""
@@ -120,6 +178,9 @@ class Link:
             queue.tick(self.sim.now)
         if self._busy or not self._up:
             queue.enqueue(pkt)
+            tap = self._tap
+            if tap is not None:
+                tap.sample(len(queue))
             return
         self._transmit(pkt)
 
@@ -197,6 +258,9 @@ class Link:
             self._busy = False
         else:
             self._transmit(nxt)
+            tap = self._tap
+            if tap is not None:
+                tap.sample(len(queue))
 
     def _deliver(self, pkt: Packet) -> None:
         if not self._up:
@@ -218,6 +282,6 @@ class Link:
 
     def _arrive(self, pkt: Packet) -> None:
         pkt.hops += 1
-        if self.on_deliver is not None:
-            self.on_deliver(pkt)
+        for hook in self._deliver_hooks:
+            hook(pkt)
         self.dst_node.receive(pkt)

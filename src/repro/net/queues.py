@@ -14,10 +14,13 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Callable, Optional
+from typing import TYPE_CHECKING, Callable, Optional
 
 from repro.net.packet import Packet
 from repro.sim.randomness import seeded_rng
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs.telemetry import QueueTap
 
 __all__ = ["DropTailQueue", "EcnQueue", "QueueStats", "RedQueue"]
 
@@ -55,6 +58,10 @@ class DropTailQueue:
         self.stats = QueueStats()
         self._fifo: deque[Packet] = deque()
         self.on_drop: Optional[Callable[[Packet], None]] = None
+        #: flight-recorder tap, installed by the owning link's ``queue``
+        #: setter; queues report drop/mark/evict *causes* through it
+        #: (occupancy sampling stays with the link, which has the clock).
+        self.tap: Optional["QueueTap"] = None
 
     def __len__(self) -> int:
         return len(self._fifo)
@@ -70,6 +77,8 @@ class DropTailQueue:
             self.stats.dropped += 1
             if self.on_drop is not None:
                 self.on_drop(pkt)
+            if self.tap is not None:
+                self.tap.drop(len(self._fifo))
             return False
         self._admit(pkt)
         return True
@@ -104,6 +113,8 @@ class DropTailQueue:
             evicted += 1
             if self.on_drop is not None:
                 self.on_drop(pkt)
+            if self.tap is not None:
+                self.tap.evict(len(self._fifo))
         return evicted
 
     def _admit(self, pkt: Packet) -> None:
@@ -140,10 +151,14 @@ class EcnQueue(DropTailQueue):
             self.stats.dropped += 1
             if self.on_drop is not None:
                 self.on_drop(pkt)
+            if self.tap is not None:
+                self.tap.drop(len(self._fifo))
             return False
         if pkt.ecn_capable and len(self._fifo) >= self.mark_threshold_pkts:
             pkt.ecn_ce = True
             self.stats.marked += 1
+            if self.tap is not None:
+                self.tap.mark(len(self._fifo))
         self._admit(pkt)
         return True
 
@@ -213,16 +228,22 @@ class RedQueue(DropTailQueue):
             self._count = 0
             if self.on_drop is not None:
                 self.on_drop(pkt)
+            if self.tap is not None:
+                self.tap.drop(len(self._fifo))
             return False
         if self._early_action():
             if self.ecn_mode and pkt.ecn_capable:
                 pkt.ecn_ce = True
                 self.stats.marked += 1
+                if self.tap is not None:
+                    self.tap.mark(len(self._fifo))
             else:
                 self.stats.dropped += 1
                 self._count = 0
                 if self.on_drop is not None:
                     self.on_drop(pkt)
+                if self.tap is not None:
+                    self.tap.early_drop(len(self._fifo))
                 return False
         self._admit(pkt)
         return True

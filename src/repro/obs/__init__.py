@@ -1,0 +1,56 @@
+"""repro.obs — the flight recorder.
+
+A low-overhead, seed-deterministic observability layer: a central
+:class:`Telemetry` bus attached to the simulation kernel, typed records
+from the transport/TRIM/queue/fault emit points, bounded ring buffers
+with optional decimation, deterministic JSONL/CSV export, and timeline
+query views.  Off by default; a simulation without a bus pays one
+attribute load and one None-check per emit point.
+"""
+
+from repro.obs.export import (
+    check_jsonl,
+    dump_row,
+    load_jsonl,
+    write_csv,
+    write_jsonl,
+)
+from repro.obs.records import (
+    CHANNELS,
+    SAMPLE_CHANNELS,
+    CwndRecord,
+    FaultRecord,
+    ProbeRecord,
+    QueueRecord,
+    RtoRecord,
+    RttRecord,
+    StateRecord,
+    validate_row,
+)
+from repro.obs.spec import TraceSpec
+from repro.obs.telemetry import DEFAULT_CAPACITY, QueueTap, Telemetry
+from repro.obs.timeline import CwndTimeline, QueueTimeline
+
+__all__ = [
+    "CHANNELS",
+    "DEFAULT_CAPACITY",
+    "SAMPLE_CHANNELS",
+    "CwndRecord",
+    "CwndTimeline",
+    "FaultRecord",
+    "ProbeRecord",
+    "QueueRecord",
+    "QueueTap",
+    "QueueTimeline",
+    "RtoRecord",
+    "RttRecord",
+    "StateRecord",
+    "Telemetry",
+    "TraceSpec",
+    "check_jsonl",
+    "dump_row",
+    "load_jsonl",
+    "validate_row",
+    "write_csv",
+    "write_jsonl",
+]

@@ -1,0 +1,172 @@
+"""ASCII trace reports: ``python -m repro.experiments trace ...``.
+
+Renders the Fig. 1 motivation view from an exported JSONL trace — a
+congestion-window staircase for one flow, with queue drop/mark events
+summarized underneath — entirely in ASCII so it works over ssh and in
+CI logs.  ``--check`` instead validates files against the trace schema
+(the CI smoke path).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Any, Mapping, Optional, Sequence
+
+from repro.obs.export import check_jsonl, load_jsonl
+from repro.obs.records import CHANNELS
+from repro.obs.timeline import CwndTimeline, QueueTimeline
+
+__all__ = ["main", "render_staircase", "summarize_rows"]
+
+DEFAULT_WIDTH = 72
+DEFAULT_HEIGHT = 16
+
+
+def _fmt(value: float) -> str:
+    return f"{value:.6g}"
+
+
+def render_staircase(
+    timeline: CwndTimeline,
+    width: int = DEFAULT_WIDTH,
+    height: int = DEFAULT_HEIGHT,
+) -> str:
+    """Render a cwnd timeline as a filled ASCII staircase.
+
+    Each column covers an equal slice of the traced interval and shows
+    the window in force at the slice midpoint (sample-and-hold), filled
+    from the x-axis up — the classic sawtooth/staircase picture.
+    """
+    if width < 8 or height < 3:
+        raise ValueError("staircase needs width >= 8 and height >= 3")
+    t0, t1 = timeline.t_start, timeline.t_end
+    span = t1 - t0
+    top = max(timeline.max_cwnd, 1.0)
+    columns: list[int] = []
+    for col in range(width):
+        frac = (col + 0.5) / width
+        value = timeline.value_at(t0 + frac * span) if span > 0 else timeline.cwnd[-1]
+        if value is None:
+            value = timeline.cwnd[0]
+        cells = int(round(value / top * height))
+        columns.append(max(0, min(height, cells)))
+    label_w = max(len(_fmt(top)), len("0"))
+    lines = [
+        f"flow {timeline.flow}: cwnd over [{_fmt(t0)}s, {_fmt(t1)}s], "
+        f"{len(timeline)} samples, peak {_fmt(timeline.max_cwnd)}"
+    ]
+    for level in range(height, 0, -1):
+        if level == height:
+            label = _fmt(top)
+        elif level == 1:
+            label = _fmt(top / height)
+        else:
+            label = ""
+        body = "".join("#" if cells >= level else " " for cells in columns)
+        lines.append(f"{label:>{label_w}} |{body}")
+    lines.append(f"{'0':>{label_w}} +{'-' * width}")
+    lines.append(f"{'':>{label_w}}  {_fmt(t0)}s{' ' * max(1, width - len(_fmt(t0)) - len(_fmt(t1)) - 2)}{_fmt(t1)}s")
+    return "\n".join(lines)
+
+
+def summarize_rows(rows: Sequence[Mapping[str, Any]]) -> str:
+    """A compact per-file summary: channel counts, flows, links, span."""
+    counts = {ch: 0 for ch in CHANNELS}
+    flows: set[int] = set()
+    links: set[str] = set()
+    times: list[float] = []
+    for row in rows:
+        ch = str(row.get("ch", "?"))
+        if ch in counts:
+            counts[ch] += 1
+        if "flow" in row:
+            flows.add(int(row["flow"]))
+        if "link" in row:
+            links.add(str(row["link"]))
+        if "t" in row:
+            times.append(float(row["t"]))
+    parts = [f"{ch}={n}" for ch, n in counts.items() if n]
+    lines = [f"records: {len(rows)} ({', '.join(parts) if parts else 'none'})"]
+    if times:
+        lines.append(f"span: {_fmt(min(times))}s .. {_fmt(max(times))}s")
+    if flows:
+        lines.append(f"flows: {', '.join(str(f) for f in sorted(flows))}")
+    if links:
+        lines.append(f"links: {', '.join(sorted(links))}")
+    return "\n".join(lines)
+
+
+def _render_file(
+    path: str, flow: Optional[int], width: int, height: int
+) -> int:
+    rows = load_jsonl(path)
+    print(f"== {path}")
+    print(summarize_rows(rows))
+    try:
+        cwnd = CwndTimeline.from_rows(rows, flow=flow)
+    except ValueError as exc:
+        print(f"(no staircase: {exc})")
+    else:
+        print()
+        print(render_staircase(cwnd, width=width, height=height))
+    try:
+        queue = QueueTimeline.from_rows(rows)
+    except ValueError:
+        pass
+    else:
+        drops = queue.drops()
+        marks = [e for e in queue.events if e[1] == "mark"]
+        print()
+        print(
+            f"queue {queue.link}: peak backlog {queue.peak_backlog} pkts, "
+            f"{len(drops)} drops/evictions, {len(marks)} ECN marks"
+        )
+        for t, kind, backlog in drops[:10]:
+            print(f"  {_fmt(t)}s {kind} (backlog {backlog})")
+        if len(drops) > 10:
+            print(f"  ... {len(drops) - 10} more")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments trace",
+        description="Render or validate exported JSONL trace files.",
+    )
+    parser.add_argument("files", nargs="+", help="JSONL trace files")
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="validate schema + canonical form instead of rendering",
+    )
+    parser.add_argument(
+        "--flow", type=int, default=None, help="flow id for the staircase"
+    )
+    parser.add_argument("--width", type=int, default=DEFAULT_WIDTH)
+    parser.add_argument("--height", type=int, default=DEFAULT_HEIGHT)
+    args = parser.parse_args(argv)
+
+    status = 0
+    for index, path in enumerate(args.files):
+        if args.check:
+            try:
+                count = check_jsonl(path)
+            except (OSError, ValueError) as exc:
+                print(f"FAIL {path}: {exc}", file=sys.stderr)
+                status = 1
+            else:
+                print(f"ok {path}: {count} records")
+            continue
+        if index:
+            print()
+        try:
+            _render_file(path, args.flow, args.width, args.height)
+        except (OSError, ValueError) as exc:
+            print(f"FAIL {path}: {exc}", file=sys.stderr)
+            status = 1
+    return status
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

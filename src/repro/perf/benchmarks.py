@@ -24,6 +24,12 @@ through:
 ``trim_probe``
     A TCP-TRIM connection sending trains separated by OFF gaps: the
     probe cycle (suspend, probe pair, deadline, window inheritance).
+``telemetry_trace``
+    The ``trim_probe`` workload with a full-capture flight-recorder bus
+    attached: the enabled-path cost of :mod:`repro.obs`.  (The
+    *disabled* path is covered by gating ``kernel_churn`` — every other
+    benchmark runs with telemetry off, so any overhead leak shows up
+    there.)
 """
 
 from __future__ import annotations
@@ -32,6 +38,7 @@ from dataclasses import dataclass
 from typing import Callable, Optional
 
 from repro.net.topology import build_star
+from repro.obs import Telemetry, TraceSpec
 from repro.sim.kernel import Event, Simulator
 from repro.tcp.base import TcpSink, TcpSource
 from repro.tcp.factory import create_source, default_config
@@ -108,9 +115,10 @@ def _star_flow(
     n_servers: int,
     buffer_pkts: int,
     max_cwnd: float = 1e12,
+    telemetry: Optional[Telemetry] = None,
     **extras: object,
 ) -> tuple[Simulator, list[TcpSource]]:
-    sim = Simulator(check_invariants=False)
+    sim = Simulator(check_invariants=False, telemetry=telemetry)
     star = build_star(
         sim,
         n_servers,
@@ -193,6 +201,35 @@ def bench_trim_probe(scale: int) -> BenchRun:
     return BenchRun(sim.events_executed, sim.now, checksum)
 
 
+def bench_telemetry_trace(scale: int) -> BenchRun:
+    """The trim_probe workload with every trace channel recording.
+
+    Measures the enabled flight recorder end to end: emit-point guards,
+    record construction, ring-buffer pushes, and queue taps.  The
+    checksum folds in the captured record count so a silently broken
+    emit point fails the behavior check rather than flattering the
+    timing.
+    """
+    telemetry = Telemetry(TraceSpec.parse("all"))
+    sim, (source,) = _star_flow(
+        "trim",
+        n_servers=1,
+        buffer_pkts=100,
+        capacity_pps=1e9 / (8.0 * 1460),
+        base_rtt=2 * 50e-6 + 1500 * 8 / 1e9,
+        telemetry=telemetry,
+    )
+    trains = 6 * scale
+    for k in range(trains):
+        sim.schedule_at(0.001 + k * 0.02, source.send_message, 40)
+    sim.run(until=0.001 + trains * 0.02 + 1.0)
+    captured = telemetry.total_records() + sum(telemetry.overflow.values())
+    if captured == 0:  # pragma: no cover - sizing bug guard
+        raise RuntimeError("telemetry_trace captured nothing; emit points broken?")
+    checksum = sim.events_executed * 31 + captured
+    return BenchRun(sim.events_executed, sim.now, checksum)
+
+
 @dataclass
 class BenchmarkSpec:
     """A named benchmark plus its quick/full work sizes."""
@@ -236,6 +273,13 @@ BENCHMARKS: tuple[BenchmarkSpec, ...] = (
         "trim_probe",
         "TCP-TRIM ON/OFF trains driving probe cycles",
         bench_trim_probe,
+        quick_scale=8,
+        full_scale=40,
+    ),
+    BenchmarkSpec(
+        "telemetry_trace",
+        "trim_probe workload with the full flight recorder attached",
+        bench_telemetry_trace,
         quick_scale=8,
         full_scale=40,
     ),

@@ -40,6 +40,7 @@ callers can report before exiting non-zero.
 from __future__ import annotations
 
 import concurrent.futures
+import os
 import time
 import warnings
 from dataclasses import dataclass, field
@@ -58,6 +59,19 @@ __all__ = [
 ]
 
 
+def _trace_capture() -> Any:
+    """:mod:`repro.obs.capture` when ``REPRO_TRACE`` is set, else None.
+
+    The env check happens *before* the import so an untraced sweep never
+    loads the observability layer (in workers or inline).
+    """
+    if not os.environ.get("REPRO_TRACE", "").strip():
+        return None
+    from repro.obs import capture
+
+    return capture
+
+
 def _execute_point(experiment_id: str, params: Any, point: Any, seed: int) -> Any:
     """Worker entry: re-resolve the experiment by id and run one point.
 
@@ -65,10 +79,28 @@ def _execute_point(experiment_id: str, params: Any, point: Any, seed: int) -> An
     boundary, so experiments never need to be picklable themselves —
     but they must be *registered* (importable via
     :mod:`repro.experiments.registry`) to run on a pool.
+
+    When tracing is on (``REPRO_TRACE``), the simulators this point
+    constructs register telemetry buses process-locally; their records
+    are exported to the point's trace file here, *in the worker*, so
+    nothing extra crosses the pool boundary.  A failed attempt discards
+    its partial capture — only the successful run's trace survives.
     """
     from repro.experiments import registry
 
-    return registry.get(experiment_id).run_point(params, point, seed)
+    capture = _trace_capture()
+    if capture is None:
+        return registry.get(experiment_id).run_point(params, point, seed)
+    capture.discard_active()  # drop any stale buses from a prior point
+    try:
+        value = registry.get(experiment_id).run_point(params, point, seed)
+    except BaseException:
+        capture.discard_active()
+        raise
+    capture.export_point_trace(
+        experiment_id, point.label, seed, digest_params(params)
+    )
+    return value
 
 
 @dataclass
@@ -362,10 +394,13 @@ class SweepRunner:
             self._reporter.point_done(entry.point.label, cached=cached, failed=failed)
 
     def _run_inline(self, pending, results, stats) -> None:
+        capture = _trace_capture()
         for entry in pending:
             attempts = 0
             while True:
                 attempts += 1
+                if capture is not None:
+                    capture.discard_active()  # failed attempts leave buses
                 try:
                     value = entry.experiment.run_point(
                         entry.params, entry.point, entry.seed
@@ -379,6 +414,11 @@ class SweepRunner:
                         )
                         break
                     continue
+                if capture is not None:
+                    capture.export_point_trace(
+                        entry.experiment.id, entry.point.label, entry.seed,
+                        entry.params_digest or digest_params(entry.params),
+                    )
                 self._record(entry, value, results, stats)
                 break
 

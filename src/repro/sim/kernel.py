@@ -32,9 +32,12 @@ from __future__ import annotations
 import heapq
 import math
 import os
-from typing import Any, Callable, Optional
+from typing import TYPE_CHECKING, Any, Callable, Optional
 
 from repro.sim.invariants import InvariantMonitor
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs.telemetry import Telemetry
 
 __all__ = ["Event", "Kernel", "SimulationError", "Simulator"]
 
@@ -128,6 +131,7 @@ class Simulator:
         self,
         check_invariants: Optional[bool] = None,
         timer_granularity: float = 0.005,
+        telemetry: Optional["Telemetry"] = None,
     ) -> None:
         if not timer_granularity > 0:
             raise ValueError("timer_granularity must be positive")
@@ -154,6 +158,12 @@ class Simulator:
         self.invariants: Optional[InvariantMonitor] = (
             InvariantMonitor(self) if check_invariants else None
         )
+        if telemetry is None:
+            telemetry = _telemetry_default()
+        #: flight-recorder bus (:mod:`repro.obs`); None — the default —
+        #: keeps every emit point at a single identity check.  The run
+        #: loops never consult it: recording happens at the emit sites.
+        self.telemetry: Optional["Telemetry"] = telemetry
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -440,6 +450,9 @@ class Simulator:
         """
         if self.invariants is not None:
             self.invariants.on_fault(self.now, description)
+        telemetry = self.telemetry
+        if telemetry is not None:
+            telemetry.on_fault(self.now, description)
 
     @property
     def pending(self) -> int:
@@ -471,3 +484,17 @@ def _invariants_default() -> bool:
     channel that survives the pickling boundary.
     """
     return os.environ.get("REPRO_CHECK_INVARIANTS", "").strip() not in ("", "0")
+
+
+def _telemetry_default() -> Optional["Telemetry"]:
+    """Process-wide default telemetry bus, from ``REPRO_TRACE``.
+
+    Mirrors :func:`_invariants_default`: the CLI's ``--trace`` flag sets
+    the variable and sweep workers inherit it.  The import is deferred so
+    an untraced simulation never loads :mod:`repro.obs` at all.
+    """
+    if not os.environ.get("REPRO_TRACE", "").strip():
+        return None
+    from repro.obs.capture import telemetry_from_env
+
+    return telemetry_from_env()

@@ -360,6 +360,9 @@ class TcpSource:
             rtt_sample = self.sim.now - pkt.ts_echo
             self.rtt.sample(rtt_sample)
             self._on_rtt_sample(rtt_sample, pkt)
+            tel = self.sim.telemetry
+            if tel is not None:
+                tel.on_rtt(self.sim.now, self.flow_id, rtt_sample)
 
         if self.in_recovery:
             self._new_ack_in_recovery(newly_acked, pkt)
@@ -370,6 +373,9 @@ class TcpSource:
                 self._increase_window(newly_acked, pkt)
 
         self._clamp_cwnd()
+        tel = self.sim.telemetry
+        if tel is not None:
+            tel.on_cwnd(self.sim.now, self.flow_id, self.cwnd, self.ssthresh)
         self._complete_messages()
         if self.flight > 0:
             self._set_rtx_timer()
@@ -395,6 +401,9 @@ class TcpSource:
         self.dupacks = 0
         self._recovery_retx.clear()
         self.cwnd = max(self.config.min_cwnd, self.ssthresh)
+        tel = self.sim.telemetry
+        if tel is not None:
+            tel.on_state(self.sim.now, self.flow_id, "open")
 
     def _handle_dupack(self, pkt: Packet) -> None:
         if self.flight <= 0:
@@ -421,6 +430,10 @@ class TcpSource:
         self._recovery_retx.clear()
         self.ssthresh = self._halve_window_on_loss()
         self.cwnd = self.ssthresh + self.config.dupack_threshold
+        tel = self.sim.telemetry
+        if tel is not None:
+            tel.on_state(self.sim.now, self.flow_id, "recovery")
+            tel.on_cwnd(self.sim.now, self.flow_id, self.cwnd, self.ssthresh)
         self._send_segment(self.highest_ack + 1)
         self._recovery_retx.add(self.highest_ack + 1)
         self._set_rtx_timer()
@@ -454,6 +467,11 @@ class TcpSource:
         self._sacked.clear()  # conservative: forget SACK state on RTO
         self._recovery_retx.clear()
         self.t_seqno = self.highest_ack + 1  # go-back-N from the hole
+        tel = self.sim.telemetry
+        if tel is not None:
+            tel.on_state(self.sim.now, self.flow_id, "timeout")
+            tel.on_rto(self.sim.now, self.flow_id, self.rtt.rto, self.cwnd)
+            tel.on_cwnd(self.sim.now, self.flow_id, self.cwnd, self.ssthresh)
         self._after_timeout()
         if self.on_timeout is not None:
             self.on_timeout(self)

@@ -1,0 +1,118 @@
+"""Golden telemetry fixture: a TRIM flow's trace is byte-stable per seed.
+
+The flight recorder's determinism contract is stronger than "same
+hash": the exported JSONL for a seeded scenario must be *byte
+identical* run over run — canonical key order, no whitespace,
+shortest-repr floats — because sweep trace files are diffed and
+cached by content.  This test drives the golden-trace TRIM scenario
+(same constants as ``test_golden_traces.py``) with a ``cwnd,probe``
+bus attached and pins the resulting JSONL to a committed fixture.
+
+To re-record after an *intended* behavior change::
+
+    PYTHONPATH=src python -m pytest tests/test_golden_telemetry.py --regen-golden
+
+and commit the updated fixture together with the change that caused it.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.scenarios import packets_per_second, path_base_rtt
+from repro.net.topology import build_star
+from repro.obs import CwndTimeline, Telemetry, TraceSpec, check_jsonl, write_jsonl
+from repro.sim.kernel import Simulator
+from repro.tcp.base import TcpSink
+from repro.tcp.factory import create_source, default_config
+
+FIXTURE = Path(__file__).parent / "golden" / "telemetry_trim.jsonl"
+
+# Scenario constants — identical to test_golden_traces.py so the two
+# fixtures certify the same simulated behavior from two vantage points
+# (the wire there, the flight recorder here).
+BANDWIDTH = 100e6
+FRONTEND_BANDWIDTH = 50e6
+DELAY = 100e-6
+BUFFER_PKTS = 8
+N_SERVERS = 3
+TRAINS_PER_FLOW = 3
+TRAIN_SEGMENTS = 60
+TRAIN_GAP = 0.08
+HORIZON = 0.45
+
+
+def run_traced_trim_scenario() -> list[dict]:
+    """The golden TRIM scenario with a cwnd+probe bus; returns rows."""
+    telemetry = Telemetry(TraceSpec.parse("cwnd,probe"))
+    sim = Simulator(check_invariants=False, telemetry=telemetry)
+    star = build_star(
+        sim,
+        N_SERVERS,
+        bandwidth_bps=BANDWIDTH,
+        delay_s=DELAY,
+        buffer_pkts=BUFFER_PKTS,
+        frontend_bandwidth_bps=FRONTEND_BANDWIDTH,
+    )
+    config = default_config("trim", min_rto=0.01, initial_rto=0.01)
+    sources = []
+    for i, server in enumerate(star.servers):
+        source = create_source(
+            "trim",
+            sim,
+            server,
+            star.frontend.node_id,
+            flow_id=i,
+            config=config,
+            capacity_pps=packets_per_second(BANDWIDTH),
+            base_rtt=path_base_rtt([(DELAY, BANDWIDTH)] * 2),
+        )
+        TcpSink(sim, star.frontend, flow_id=i)
+        sources.append(source)
+    for i, source in enumerate(sources):
+        for k in range(TRAINS_PER_FLOW):
+            sim.schedule_at(
+                0.005 + i * 0.003 + k * TRAIN_GAP,
+                lambda s=source: s.send_message(TRAIN_SEGMENTS),
+            )
+    sim.run(until=HORIZON)
+    return telemetry.rows()
+
+
+def test_golden_telemetry_jsonl_is_byte_identical(tmp_path, regen_golden):
+    rows = run_traced_trim_scenario()
+
+    # The fixture must keep certifying the probe machinery: a TRIM trace
+    # with no inherit events would pin an empty promise.
+    probe_events = [row["event"] for row in rows if row["ch"] == "probe"]
+    assert "enter" in probe_events
+    assert "inherit" in probe_events
+    timeline = CwndTimeline.from_rows(rows)
+    assert len(timeline) > 10
+
+    if regen_golden:
+        FIXTURE.parent.mkdir(exist_ok=True)
+        write_jsonl(rows, FIXTURE)
+        return
+    if not FIXTURE.exists():
+        pytest.fail(
+            f"missing golden fixture {FIXTURE}; record it with "
+            "'python -m pytest tests/test_golden_telemetry.py "
+            "--regen-golden' and commit the result"
+        )
+    produced = write_jsonl(rows, tmp_path / "telemetry_trim.jsonl")
+    assert produced.read_bytes() == FIXTURE.read_bytes(), (
+        "the TRIM telemetry trace diverged from the recorded golden "
+        "fixture. If this behavior (or schema) change is intended, "
+        "re-record with --regen-golden; otherwise an emit point or the "
+        "canonical JSONL encoding changed under you."
+    )
+
+
+def test_golden_telemetry_fixture_is_canonical():
+    """The committed fixture itself passes the trace --check contract."""
+    if not FIXTURE.exists():
+        pytest.skip("fixture not recorded yet")
+    assert check_jsonl(FIXTURE) > 0

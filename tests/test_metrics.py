@@ -90,6 +90,42 @@ class TestStats:
         assert jain_fairness([0.0, 0.0]) == 1.0
 
 
+class TestStatsAcceptNumpyArrays:
+    """Experiment reducers hand these functions numpy arrays directly.
+
+    Regression guard: the emptiness checks must use ``len()``, because
+    ``not arr`` raises "truth value of an array is ambiguous" for any
+    numpy array longer than one element.
+    """
+
+    TIMES = np.array([1.0, 2.0, 3.0, 4.0])
+
+    def test_act_on_array(self):
+        assert act(self.TIMES) == pytest.approx(2.5)
+
+    def test_percentile_on_array(self):
+        assert percentile(self.TIMES, 50) == pytest.approx(2.5)
+
+    def test_summarize_on_array(self):
+        s = summarize(self.TIMES)
+        assert (s.count, s.minimum, s.maximum) == (4, 1.0, 4.0)
+
+    def test_jain_on_array(self):
+        assert jain_fairness(np.array([5.0, 5.0])) == pytest.approx(1.0)
+
+    def test_cdf_points_on_array(self):
+        values, _probs = cdf_points(np.array([3.0, 1.0]))
+        assert list(values) == [1.0, 3.0]
+
+    def test_empty_arrays_still_raise(self):
+        empty = np.array([])
+        for fn in (act, summarize, cdf_points, jain_fairness):
+            with pytest.raises(ValueError):
+                fn(empty)
+        with pytest.raises(ValueError):
+            percentile(empty, 50)
+
+
 class TestMonitors:
     def test_queue_monitor_records_backlog(self):
         sim, star, source, _sink = make_pair(frontend_bandwidth=100e6)

@@ -74,3 +74,61 @@ class TestPacketLogger:
         sim.run(until=1.0)
         retx = [r for r in logger.records if r.is_retransmission]
         assert any(r.seq == 3 for r in retx)
+
+
+class TestObserverChain:
+    """Loggers are link observers: detach order must not matter.
+
+    The save-and-restore hook chaining this replaced silently dropped
+    the *second* logger when the *first* detached (non-LIFO order): its
+    restore wrote back a stale hook that no longer pointed at anyone.
+    """
+
+    def test_non_lifo_detach_keeps_later_logger_alive(self):
+        sim, star, source, _sink = make_pair()
+        first = PacketLogger(star.bottleneck)
+        second = PacketLogger(star.bottleneck)
+        first.detach()  # non-LIFO: the earlier attachment leaves first
+        source.send_message(10)
+        sim.run(until=0.1)
+        assert len(first) == 0
+        assert len(second) == 10
+
+    def test_lifo_detach_still_works(self):
+        sim, star, source, _sink = make_pair()
+        first = PacketLogger(star.bottleneck)
+        second = PacketLogger(star.bottleneck)
+        second.detach()
+        source.send_message(10)
+        sim.run(until=0.1)
+        assert len(first) == 10
+        assert len(second) == 0
+
+    def test_detach_is_idempotent(self):
+        sim, star, source, _sink = make_pair()
+        first = PacketLogger(star.bottleneck)
+        second = PacketLogger(star.bottleneck)
+        first.detach()
+        first.detach()  # second call must not touch the remaining observer
+        source.send_message(5)
+        sim.run(until=0.1)
+        assert len(first) == 0
+        assert len(second) == 5
+
+    def test_three_loggers_any_detach_order(self):
+        sim, star, source, _sink = make_pair()
+        loggers = [PacketLogger(star.bottleneck) for _ in range(3)]
+        loggers[1].detach()
+        loggers[0].detach()
+        source.send_message(7)
+        sim.run(until=0.1)
+        assert [len(lg) for lg in loggers] == [0, 0, 7]
+
+    def test_legacy_hook_runs_before_observers(self):
+        sim, star, source, _sink = make_pair()
+        order = []
+        star.bottleneck.on_deliver = lambda pkt: order.append("legacy")
+        star.bottleneck.add_observer(lambda pkt: order.append("observer"))
+        source.send_message(1)
+        sim.run(until=0.1)
+        assert order == ["legacy", "observer"]

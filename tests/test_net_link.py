@@ -125,6 +125,48 @@ class TestLinkTiming:
             dst.attach_link(link)
 
 
+class TestDeliveryObservers:
+    """Multi-observer dispatch on the delivery path."""
+
+    def test_observers_run_in_registration_order(self):
+        sim = Simulator()
+        _, _, link = make_link(sim)
+        order = []
+        link.add_observer(lambda p: order.append("a"))
+        link.add_observer(lambda p: order.append("b"))
+        link.send(pkt())
+        sim.run()
+        assert order == ["a", "b"]
+
+    def test_remove_middle_observer(self):
+        sim = Simulator()
+        _, _, link = make_link(sim)
+        order = []
+        hooks = [lambda p, i=i: order.append(i) for i in range(3)]
+        for hook in hooks:
+            link.add_observer(hook)
+        link.remove_observer(hooks[1])
+        link.send(pkt())
+        sim.run()
+        assert order == [0, 2]
+
+    def test_remove_unknown_observer_is_lenient(self):
+        sim = Simulator()
+        _, _, link = make_link(sim)
+        link.remove_observer(lambda p: None)  # never registered: no raise
+
+    def test_clearing_legacy_hook_keeps_observers(self):
+        sim = Simulator()
+        _, _, link = make_link(sim)
+        seen = []
+        link.on_deliver = lambda p: seen.append("legacy")
+        link.add_observer(lambda p: seen.append("observer"))
+        link.on_deliver = None
+        link.send(pkt())
+        sim.run()
+        assert seen == ["observer"]
+
+
 class TestQueueSwap:
     """Mid-run egress-queue replacement (drop-tail → RED and back)."""
 

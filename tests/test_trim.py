@@ -4,6 +4,7 @@ import pytest
 
 from repro.core import kguide
 from repro.core.trim import TrimSource
+from repro.net.packet import Packet
 from repro.tcp.base import TcpConfig
 from tests.helpers import FAST, drop_seqs_once, install_loss, make_pair
 
@@ -147,6 +148,131 @@ class TestProbeDeadline:
         sim.schedule_at(0.02, lambda: source.send_message(30))
         sim.run(until=0.025)
         assert not source.suspended
+
+
+class TestConstructorValidation:
+    @pytest.mark.parametrize("base_rtt", [0.0, -1e-3])
+    def test_non_positive_base_rtt_rejected(self, base_rtt):
+        # Eq. (1) divides by min_RTT, which base_rtt seeds; a falsy-but-
+        # accepted 0.0 here was the original truthiness bug's entry door.
+        with pytest.raises(ValueError, match="base_rtt"):
+            trim_pair(base_rtt=base_rtt)
+
+    @pytest.mark.parametrize("capacity_pps", [0.0, -100.0])
+    def test_non_positive_capacity_rejected(self, capacity_pps):
+        with pytest.raises(ValueError, match="capacity_pps"):
+            trim_pair(capacity_pps=capacity_pps)
+
+    def test_positive_values_accepted(self):
+        _sim, _star, source, _sink = trim_pair(base_rtt=1e-6)
+        assert source.min_rtt == 1e-6
+
+    def test_unset_min_rtt_demotes_probe_success(self):
+        # ``is not None``, not truthiness: only a genuinely absent
+        # min_RTT falls back to the minimum window on a successful round.
+        _sim, _star, source, _sink = trim_pair()
+        source.min_rtt = None
+        source._saved_cwnd = 100.0
+        source.probing = True
+        source._probe_rtts = [1e-3]
+        source._finish_probe(success=True)
+        assert source.probes_completed == 0
+        assert source.cwnd == source.config.min_cwnd
+
+    def test_tiny_positive_min_rtt_still_inherits(self):
+        _sim, _star, source, _sink = trim_pair()
+        source.min_rtt = 1e-9
+        source._saved_cwnd = 100.0
+        source.probing = True
+        source._probe_rtts = [1e-9]  # factor exactly 1
+        source._finish_probe(success=True)
+        assert source.probes_completed == 1
+        assert source.cwnd == pytest.approx(100.0)
+
+
+def probe_ack(source, seq, rtt):
+    """A hand-crafted ACK echoing probe segment ``seq`` with ``rtt``."""
+    pkt = Packet(source.flow_id, 0, 1, "ack", ack=seq + 1)
+    pkt.for_seq = seq
+    pkt.ts_echo = source.sim.now - rtt
+    pkt.echo_probe = True
+    return pkt
+
+
+def probing_pair():
+    """A TRIM source suspended mid-probe with both probe packets lost.
+
+    Dropping the probes on the wire lets each test hand-deliver their
+    ACKs (or none) in any interleaving via ``_on_ack_pre_increase``.
+    """
+    sim, star, source, sink = trim_pair()
+    source.send_message(20)
+    sim.run(until=0.01)
+    install_loss(star.bottleneck, lambda pkt: pkt.is_probe)
+    sim.schedule_at(0.02, lambda: source.send_message(10))
+    sim.run(until=0.02 + 1e-5)
+    assert source.probing and len(source._probe_seqs) == 2
+    return sim, star, source, sink
+
+
+class TestProbeDeadlineRearm:
+    def test_first_probe_ack_rearms_the_deadline(self):
+        sim, _star, source, _sink = probing_pair()
+        first, _second = sorted(source._probe_seqs)
+        old_deadline = source._probe_deadline
+        assert source._on_ack_pre_increase(0, probe_ack(source, first, 2e-4))
+        # Still probing — but on a fresh deadline one smooth_RTT out, so
+        # the trailing ACK is not condemned by the leading one's clock.
+        assert source.probing
+        assert old_deadline.cancelled
+        fresh = source._probe_deadline
+        assert fresh is not old_deadline and not fresh.cancelled
+        assert fresh.time == pytest.approx(sim.now + source.smooth_rtt.value)
+
+    def test_both_acks_complete_and_apply_eq1(self):
+        _sim, _star, source, _sink = probing_pair()
+        saved = source._saved_cwnd
+        min_rtt = source.min_rtt
+        r1, r2 = 1.5 * min_rtt, 1.7 * min_rtt
+        first, second = sorted(source._probe_seqs)
+        source._on_ack_pre_increase(0, probe_ack(source, first, r1))
+        source._on_ack_pre_increase(0, probe_ack(source, second, r2))
+        assert not source.probing and not source.suspended
+        assert source.probes_completed == 1
+        assert source.probes_timed_out == 0
+        factor = 1.0 - ((r1 + r2) / 2 - min_rtt) / min_rtt
+        expected = min(saved, max(source.config.min_cwnd, saved * factor))
+        assert source.cwnd == pytest.approx(expected)
+        assert source._probe_deadline is None
+
+    def test_timeout_after_rearm_falls_back_to_min_window(self):
+        sim, _star, source, _sink = probing_pair()
+        first, _second = sorted(source._probe_seqs)
+        source._on_ack_pre_increase(0, probe_ack(source, first, 2e-4))
+        assert source.probing
+        sim.run(until=source._probe_deadline.time + 1e-6)
+        assert source.probes_timed_out == 1
+        assert source.probes_completed == 0
+        assert not source.probing and not source.suspended
+        assert source.cwnd == source.config.min_cwnd
+
+    def test_karn_filtered_probe_ack_contributes_no_rtt(self):
+        _sim, _star, source, _sink = probing_pair()
+        first, _second = sorted(source._probe_seqs)
+        retx_ack = probe_ack(source, first, 2e-4)
+        retx_ack.echo_retx = True
+        assert source._on_ack_pre_increase(0, retx_ack)
+        assert source._probe_rtts == []  # sample rejected, seq consumed
+        assert first not in source._probe_seqs
+
+    def test_late_probe_ack_after_finish_is_harmless(self):
+        sim, _star, source, _sink = probing_pair()
+        seqs = sorted(source._probe_seqs)
+        sim.run(until=source._probe_deadline.time + 1e-6)  # deadline fires
+        assert not source.probing
+        source._on_ack_pre_increase(0, probe_ack(source, seqs[0], 2e-4))
+        assert not source.probing
+        assert source.probes_timed_out == 1
 
 
 class TestQueuingControl:
