@@ -9,10 +9,15 @@ Usage::
 
 Experiments are resolved through :mod:`repro.experiments.registry` and
 executed by :class:`repro.runner.SweepRunner`: every figure is a sweep
-of independent points, fanned out to ``--jobs`` worker processes with a
+of independent points, fanned out to ``--jobs`` workers on a pluggable
+execution backend (``--backend serial|process|shm``) with a
 content-addressed result cache (``--cache-dir`` / ``--no-cache``).
-Results are bit-identical for any ``--jobs`` value.  Each experiment
-prints rows shaped like the paper's figure/table.
+When the cache has seen a point before, its measured runtime also
+drives cost-aware scheduling (``--schedule cost``, the default):
+predicted-longest points are submitted first to shrink pool makespan.
+Results are bit-identical for any ``--jobs`` value, any backend, and
+any schedule.  Each experiment prints rows shaped like the paper's
+figure/table.
 
 Sweeps are crash-safe: every completed point is journalled durably to a
 JSONL checkpoint next to the result cache (override with
@@ -113,6 +118,24 @@ def main(argv: list[str] | None = None) -> int:
         type=int,
         default=1,
         help="worker processes for sweep points (default: 1, inline)",
+    )
+    parser.add_argument(
+        "--backend",
+        choices=("serial", "process", "shm"),
+        default=None,
+        help="sweep execution backend: serial (inline), process "
+        "(worker pool, pickle transport), or shm (worker pool with "
+        "shared-memory result transport for trace-heavy payloads); "
+        "default picks serial under --jobs 1 and process otherwise. "
+        "Results are identical under every backend.",
+    )
+    parser.add_argument(
+        "--schedule",
+        choices=("cost", "fifo"),
+        default="cost",
+        help="sweep submission order: cost (default) uses the cache's "
+        "runtime history to start predicted-longest points first; fifo "
+        "keeps enumeration order. Either way results are identical.",
     )
     parser.add_argument(
         "--cache-dir",
@@ -280,6 +303,8 @@ def main(argv: list[str] | None = None) -> int:
         label=args.experiment,
         checkpoint=checkpoint,
         resume=args.resume,
+        backend=args.backend,
+        schedule=args.schedule,
     )
     artifacts = {}
     totals = {"hits": 0, "executed": 0}

@@ -26,6 +26,7 @@ __all__ = [
     "HandlerReentrancyRule",
     "ModuleMutableStateRule",
     "MutableDefaultRule",
+    "RawExecutorRule",
     "TimeEqualityRule",
     "UnseededRandomnessRule",
     "WallClockRule",
@@ -468,6 +469,48 @@ class DeliveryHookSwapRule(Rule):
                         "assignment to another object's on_deliver "
                         "replaces its delivery hook; use add_observer()",
                     )
+
+
+@register_rule
+class RawExecutorRule(Rule):
+    """Sweep fan-out goes through a SweepBackend, not a raw pool.
+
+    Constructing a :class:`concurrent.futures.ProcessPoolExecutor`
+    directly sidesteps the runner's execution seam: the pool's results
+    skip the ``(seconds, value)`` timing contract that feeds cost-aware
+    scheduling, skip the shared-memory transport choice, and are
+    invisible to the journal's backend header.  The backends package —
+    which *is* the sanctioned wrapper — is exempt.
+    """
+
+    id = "SIM010"
+    summary = "raw ProcessPoolExecutor bypasses the SweepBackend seam"
+    fixit = (
+        "use a repro.runner.backends backend (SerialBackend, "
+        "ProcessPoolBackend, SharedMemoryBackend) or create_backend(); "
+        "wrap a custom executor in LegacyExecutorBackend"
+    )
+
+    #: the sanctioned implementation of the seam.
+    EXEMPT_DIRS = ("/runner/backends/",)
+
+    def _applies(self, path: str) -> bool:
+        return not any(part in f"/{path}" for part in self.EXEMPT_DIRS)
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        if not self._applies(module.path):
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = module.resolve(node.func)
+            if name.rsplit(".", 1)[-1] == "ProcessPoolExecutor":
+                yield from module.finding(
+                    node,
+                    self,
+                    "direct ProcessPoolExecutor construction outside "
+                    "runner/backends/ bypasses the sweep-backend seam",
+                )
 
 
 @register_rule

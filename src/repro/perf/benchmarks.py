@@ -30,13 +30,23 @@ through:
     *disabled* path is covered by gating ``kernel_churn`` — every other
     benchmark runs with telemetry off, so any overhead leak shows up
     there.)
+``sweep_fanout`` / ``sweep_fanout_shm``
+    The sweep dispatch path itself rather than a simulation: a
+    synthetic experiment whose points return multi-megabyte payloads,
+    fanned out through :class:`~repro.runner.SweepRunner` on the
+    ``process`` and ``shm`` backends respectively.  The pair
+    A/B-measures result transport — pickle pipe versus shared-memory
+    segments — on identical work; their relative throughput is the
+    number the shm backend exists for.
 """
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass
 from typing import Callable, Optional
 
+from repro.experiments.base import Experiment, Point
 from repro.net.topology import build_star
 from repro.obs import Telemetry, TraceSpec
 from repro.sim.kernel import Event, Simulator
@@ -231,6 +241,85 @@ def bench_telemetry_trace(scale: int) -> BenchRun:
 
 
 @dataclass
+class _FanoutParams:
+    """Params of the synthetic payload experiment (picklable)."""
+
+    #: sized so result transport dominates pool startup and dispatch —
+    #: small payloads measure fork overhead, not the pipe-versus-shm
+    #: difference this pair exists for.
+    n_points: int = 4
+    payload_bytes: int = 16 * 1024 * 1024
+
+
+class _SweepPayloadExperiment(Experiment):
+    """Points that cost nothing to compute and megabytes to return.
+
+    Construction is a single ``bytes`` repeat (no per-byte Python work),
+    so a sweep over these points measures the dispatch path — worker
+    round-trip and, above all, result transport — rather than the
+    payload's creation.  Deterministic in (point, seed) alone, like any
+    real experiment.
+    """
+
+    # Resolved in workers by module:attribute path, not the figure
+    # registry — benchmarks must not pollute the CLI's experiment list.
+    id = "repro.perf.benchmarks:SWEEP_PAYLOAD"
+    title = "synthetic bulk-payload sweep (benchmark only)"
+    params_cls = _FanoutParams
+    uses_protocols = False
+
+    def points(self, params: _FanoutParams) -> list[Point]:
+        return [Point(f"p{i}", {"i": i}) for i in range(params.n_points)]
+
+    def run_point(self, params: _FanoutParams, point: Point, seed: int) -> bytes:
+        i = point.kwargs["i"]
+        fill = (seed ^ i) % 251
+        return i.to_bytes(8, "little") + bytes([fill]) * params.payload_bytes
+
+    def reduce(self, params, points, results):
+        return list(results)
+
+
+#: the instance workers import (see ``_SweepPayloadExperiment.id``).
+SWEEP_PAYLOAD = _SweepPayloadExperiment()
+
+
+def _run_fanout(scale: int, backend: str) -> BenchRun:
+    """Fan ``scale`` bulk points through a SweepRunner on ``backend``."""
+    from repro.runner import SweepRunner, create_backend
+
+    params = _FanoutParams(n_points=scale)
+    runner = SweepRunner(
+        jobs=2,
+        cache=None,
+        backend=create_backend(backend),
+        schedule="fifo",  # A/B fairness: identical submission order
+    )
+    payloads = runner.run(SWEEP_PAYLOAD, params, seed=1)
+    stats = runner.last_stats
+    if stats is None or stats.failures:  # pragma: no cover - sizing bug guard
+        raise RuntimeError(f"sweep_fanout[{backend}] had failing points")
+    checksum = 0
+    total = 0
+    for blob in payloads:
+        checksum = zlib.crc32(blob, checksum)
+        total += len(blob)
+    # "events" = bytes moved, so events_per_sec reads as transport
+    # bandwidth and the process/shm pair compares directly.
+    return BenchRun(total, 0.0, checksum)
+
+
+def bench_sweep_fanout(scale: int) -> BenchRun:
+    """Bulk-payload sweep on the ``process`` backend (pickle pipe)."""
+    return _run_fanout(scale, "process")
+
+
+def bench_sweep_fanout_shm(scale: int) -> BenchRun:
+    """The identical sweep on ``shm`` (shared-memory result transport)."""
+    return _run_fanout(scale, "shm")
+
+
+@dataclass
 class BenchmarkSpec:
     """A named benchmark plus its quick/full work sizes."""
 
@@ -282,5 +371,19 @@ BENCHMARKS: tuple[BenchmarkSpec, ...] = (
         bench_telemetry_trace,
         quick_scale=8,
         full_scale=40,
+    ),
+    BenchmarkSpec(
+        "sweep_fanout",
+        "bulk-payload sweep dispatch on the process backend (pickle pipe)",
+        bench_sweep_fanout,
+        quick_scale=8,
+        full_scale=16,
+    ),
+    BenchmarkSpec(
+        "sweep_fanout_shm",
+        "the identical sweep on the shm backend (shared-memory transport)",
+        bench_sweep_fanout_shm,
+        quick_scale=8,
+        full_scale=16,
     ),
 )

@@ -1,10 +1,18 @@
 """Parallel sweep execution for experiments.
 
 The runner fans the independent points of an :class:`~repro.experiments.base.Experiment`
-out to a process pool, with:
+out to a pluggable execution backend, with:
 
 * deterministic per-point seeds (results are identical for any worker
-  count — see :func:`repro.sim.randomness.derive_seed`);
+  count and any backend — see :func:`repro.sim.randomness.derive_seed`);
+* first-class backends (:mod:`repro.runner.backends`): ``serial``
+  (inline, the ``jobs=1`` default), ``process``
+  (:class:`~concurrent.futures.ProcessPoolExecutor` fan-out), and
+  ``shm`` (process pool whose bulk result payloads travel through
+  shared memory instead of the pickle pipe);
+* cost-aware scheduling: the cache's :class:`~repro.runner.cache.CostModel`
+  remembers per-point runtimes and the runner submits predicted-longest
+  points first, shrinking pool makespan without changing results;
 * a content-addressed on-disk result cache keyed on package version,
   experiment id, params, point, and seed, so re-runs of unchanged
   points are free;
@@ -12,8 +20,8 @@ out to a process pool, with:
   result set;
 * crash-safe checkpointing: an append-only, fsynced JSONL journal of
   completed points (:class:`~repro.runner.checkpoint.SweepCheckpoint`)
-  that ``resume=True`` replays after a crash or Ctrl-C, re-running only
-  the unfinished points;
+  that ``resume=True`` replays after a crash or Ctrl-C — under any
+  backend, not just the one that wrote it;
 * a progress/ETA reporter.
 
 Typical use::
@@ -23,11 +31,21 @@ Typical use::
 
     experiment = registry.get("fig8")
     params = experiment.make_params("quick", "trim")
-    runner = SweepRunner(jobs=4, cache=ResultCache("~/.cache/repro-experiments"))
+    runner = SweepRunner(jobs=4, cache=ResultCache("~/.cache/repro-experiments"),
+                         backend="shm")
     payload = runner.run(experiment, params, seed=1)
 """
 
-from repro.runner.cache import ResultCache
+from repro.runner.backends import (
+    LegacyExecutorBackend,
+    PointSpec,
+    ProcessPoolBackend,
+    SerialBackend,
+    SharedMemoryBackend,
+    SweepBackend,
+    create_backend,
+)
+from repro.runner.cache import CostModel, ResultCache
 from repro.runner.checkpoint import SweepCheckpoint
 from repro.runner.engine import (
     PointFailure,
@@ -38,11 +56,19 @@ from repro.runner.engine import (
 from repro.runner.progress import ProgressReporter
 
 __all__ = [
+    "CostModel",
+    "LegacyExecutorBackend",
     "PointFailure",
+    "PointSpec",
+    "ProcessPoolBackend",
     "ProgressReporter",
     "ResultCache",
+    "SerialBackend",
+    "SharedMemoryBackend",
+    "SweepBackend",
     "SweepCheckpoint",
     "SweepInterrupted",
     "SweepRunner",
     "SweepStats",
+    "create_backend",
 ]

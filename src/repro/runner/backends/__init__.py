@@ -1,0 +1,61 @@
+"""Pluggable execution backends for :class:`~repro.runner.engine.SweepRunner`.
+
+Three first-class implementations ship with the runner:
+
+========== ===================================================================
+``serial``  in-process, zero overhead, no registry requirement — the
+            debugging default under ``--jobs 1``
+``process`` :class:`~concurrent.futures.ProcessPoolExecutor` fan-out with
+            pickle result transport — the parallel default
+``shm``     process pool whose bulk result payloads travel through
+            ``multiprocessing.shared_memory`` segments instead of the
+            pickle pipe — for trace-heavy sweeps
+========== ===================================================================
+
+plus :class:`LegacyExecutorBackend`, the adapter behind the deprecated
+``SweepRunner(executor_factory=...)`` kwarg.  All backends honor the
+same determinism contract: byte-identical merged payloads for any
+backend and any ``--jobs``.  See :class:`~repro.runner.backends.base.SweepBackend`
+for the protocol and CONTRIBUTING.md for how to implement one (the seam
+future multi-host dispatchers plug into).
+"""
+
+from repro.runner.backends.base import (
+    PointSpec,
+    SweepBackend,
+    execute_point,
+    resolve_experiment,
+)
+from repro.runner.backends.pool import LegacyExecutorBackend, ProcessPoolBackend
+from repro.runner.backends.serial import SerialBackend
+from repro.runner.backends.shm import SharedMemoryBackend
+
+__all__ = [
+    "BACKENDS",
+    "LegacyExecutorBackend",
+    "PointSpec",
+    "ProcessPoolBackend",
+    "SerialBackend",
+    "SharedMemoryBackend",
+    "SweepBackend",
+    "create_backend",
+    "execute_point",
+    "resolve_experiment",
+]
+
+#: name -> class, the CLI's ``--backend`` choices.
+BACKENDS: dict[str, type[SweepBackend]] = {
+    SerialBackend.name: SerialBackend,
+    ProcessPoolBackend.name: ProcessPoolBackend,
+    SharedMemoryBackend.name: SharedMemoryBackend,
+}
+
+
+def create_backend(name: str, **kwargs: object) -> SweepBackend:
+    """Instantiate a named backend (``serial`` / ``process`` / ``shm``)."""
+    try:
+        cls = BACKENDS[name]
+    except KeyError:
+        known = ", ".join(sorted(BACKENDS))
+        raise ValueError(f"unknown sweep backend {name!r} (known: {known})") from None
+    return cls(**kwargs)  # type: ignore[arg-type]

@@ -37,7 +37,16 @@ import pickle
 from pathlib import Path
 from typing import Any, Optional, TextIO
 
-__all__ = ["SweepCheckpoint", "digest_params"]
+__all__ = ["JOURNAL_SCHEMA", "SweepCheckpoint", "digest_params"]
+
+#: schema id carried by journal header lines.  A header records which
+#: execution backend (and jobs/schedule configuration) produced the
+#: run's records; resume accepts any backend — the journal format is
+#: backend-independent, so a sweep killed under ``shm`` can resume
+#: under ``serial`` and vice versa.  Headers are append-only like every
+#: other line: a resumed run appends a fresh header, and ``load()``
+#: keeps the last one seen (the configuration that wrote the tail).
+JOURNAL_SCHEMA = "repro-sweep-journal/1"
 
 #: key addressing one completed point inside a journal:
 #: ``(experiment_id, label, seed, params_digest)``.
@@ -66,6 +75,9 @@ class SweepCheckpoint:
     def __init__(self, path: "str | Path") -> None:
         self.path = Path(path).expanduser()
         self.records_written = 0
+        #: the last header line ``load()`` saw (None for journals from
+        #: before headers existed — they resume fine regardless).
+        self.header: Optional[dict] = None
         self._fh: Optional[TextIO] = None
 
     # ------------------------------------------------------------------
@@ -98,6 +110,30 @@ class SweepCheckpoint:
         fh.flush()
         os.fsync(fh.fileno())
         self.records_written += 1
+
+    def write_header(
+        self, backend: str = "", jobs: int = 0, schedule: str = ""
+    ) -> None:
+        """Append a header naming the run's execution configuration.
+
+        Purely informational for ``load()`` (resume works across
+        backends); durable like every record so a crashed run's journal
+        still says what produced it.
+        """
+        line = json.dumps(
+            {
+                "schema": JOURNAL_SCHEMA,
+                "backend": backend,
+                "jobs": int(jobs),
+                "schedule": schedule,
+            },
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+        fh = self._open()
+        fh.write(line + "\n")
+        fh.flush()
+        os.fsync(fh.fileno())
 
     def reset(self) -> None:
         """Truncate the journal: a fresh (non-resumed) sweep starts empty
@@ -140,6 +176,12 @@ class SweepCheckpoint:
                     continue
                 try:
                     doc = json.loads(line)
+                    if (
+                        isinstance(doc, dict)
+                        and doc.get("schema") == JOURNAL_SCHEMA
+                    ):
+                        self.header = doc
+                        continue
                     key = (
                         str(doc["experiment"]),
                         str(doc["label"]),

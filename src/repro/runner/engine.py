@@ -2,18 +2,28 @@
 
 :class:`SweepRunner` takes ``(experiment, params)`` tasks, enumerates
 their :class:`~repro.experiments.base.Point` lists, and resolves every
-point — from the cache when possible, inline for serial runs, or on a
-:class:`~concurrent.futures.ProcessPoolExecutor` otherwise — then folds
-the per-point results back through each experiment's ``reduce``.
+point — from the cache when possible, otherwise on a pluggable
+:class:`~repro.runner.backends.SweepBackend` (inline, process pool, or
+shared-memory pool) — then folds the per-point results back through
+each experiment's ``reduce``.
 
 Determinism contract: each point's seed is derived from the root seed
 and the point's ``"<experiment id>/<label>"`` name alone
 (:func:`repro.sim.randomness.derive_seed`), and results are collected
-by point index rather than completion order.  A sweep therefore
-produces bit-identical payloads for any worker count, and protocol
-variants of the same experiment see matched per-point draws (the same
-scenario randomness under every protocol, as the paper's comparisons
-require).
+by point index rather than completion or submission order.  A sweep
+therefore produces bit-identical payloads for any worker count and any
+backend, and protocol variants of the same experiment see matched
+per-point draws (the same scenario randomness under every protocol, as
+the paper's comparisons require).
+
+Scheduling contract: when a cache is attached, the runner consults its
+:class:`~repro.runner.cache.CostModel` — runtime history keyed on
+``(experiment, params, label)`` but not seed — and submits predicted-
+longest points first, shrinking a pool sweep's makespan (the classic
+LPT heuristic).  Points without history keep submission order, so a
+cold sweep behaves exactly as before.  Because merge is by point
+index, reordering can never change payloads; ``schedule="fifo"``
+disables it anyway for A/B timing.
 
 Failure contract: a point that keeps raising after ``retries``
 re-submissions (or times out) degrades to a ``None`` result; ``reduce``
@@ -31,7 +41,9 @@ point is journalled durably (flush + fsync) the moment it lands; after
 a crash — including ``kill -9`` mid-sweep — re-running with
 ``resume=True`` replays the journalled points for free and executes
 only the unfinished remainder, producing payloads identical to an
-uninterrupted run.  ``KeyboardInterrupt`` is handled the same way but
+uninterrupted run.  The journal records which backend wrote it, but
+resume accepts any backend: a sweep killed under ``shm`` can finish
+under ``serial``.  ``KeyboardInterrupt`` is handled the same way but
 gracefully: completed points are already on disk, and the runner raises
 :class:`SweepInterrupted` carrying the partial payloads and stats so
 callers can report before exiting non-zero.
@@ -40,13 +52,20 @@ callers can report before exiting non-zero.
 from __future__ import annotations
 
 import concurrent.futures
-import os
 import time
 import warnings
 from dataclasses import dataclass, field
 from typing import Any, Callable, Optional, Sequence
 
-from repro.runner.cache import ResultCache
+from repro.runner.backends import (
+    LegacyExecutorBackend,
+    PointSpec,
+    ProcessPoolBackend,
+    SerialBackend,
+    SweepBackend,
+    create_backend,
+)
+from repro.runner.cache import CostModel, ResultCache
 from repro.runner.checkpoint import SweepCheckpoint, digest_params
 from repro.runner.progress import ProgressReporter
 from repro.sim.randomness import derive_seed
@@ -57,50 +76,6 @@ __all__ = [
     "SweepRunner",
     "SweepStats",
 ]
-
-
-def _trace_capture() -> Any:
-    """:mod:`repro.obs.capture` when ``REPRO_TRACE`` is set, else None.
-
-    The env check happens *before* the import so an untraced sweep never
-    loads the observability layer (in workers or inline).
-    """
-    if not os.environ.get("REPRO_TRACE", "").strip():
-        return None
-    from repro.obs import capture
-
-    return capture
-
-
-def _execute_point(experiment_id: str, params: Any, point: Any, seed: int) -> Any:
-    """Worker entry: re-resolve the experiment by id and run one point.
-
-    Only ``(experiment_id, params, point, seed)`` crosses the process
-    boundary, so experiments never need to be picklable themselves —
-    but they must be *registered* (importable via
-    :mod:`repro.experiments.registry`) to run on a pool.
-
-    When tracing is on (``REPRO_TRACE``), the simulators this point
-    constructs register telemetry buses process-locally; their records
-    are exported to the point's trace file here, *in the worker*, so
-    nothing extra crosses the pool boundary.  A failed attempt discards
-    its partial capture — only the successful run's trace survives.
-    """
-    from repro.experiments import registry
-
-    capture = _trace_capture()
-    if capture is None:
-        return registry.get(experiment_id).run_point(params, point, seed)
-    capture.discard_active()  # drop any stale buses from a prior point
-    try:
-        value = registry.get(experiment_id).run_point(params, point, seed)
-    except BaseException:
-        capture.discard_active()
-        raise
-    capture.export_point_trace(
-        experiment_id, point.label, seed, digest_params(params)
-    )
-    return value
 
 
 @dataclass
@@ -129,6 +104,11 @@ class SweepStats:
     #: True when the sweep was cut short by KeyboardInterrupt; the
     #: payloads reduce whatever completed before the interrupt.
     interrupted: bool = False
+    #: name of the backend that executed the dispatched points ("" when
+    #: everything resolved from the cache/journal).
+    backend: str = ""
+    #: points the cost-aware scheduler moved ahead of submission order.
+    reordered: int = 0
     failures: list[PointFailure] = field(default_factory=list)
     elapsed: float = 0.0
 
@@ -174,9 +154,25 @@ class _Entry:
         return (self.experiment.id, self.point.label, self.seed,
                 self.params_digest)
 
+    @property
+    def cost_key(self):
+        return CostModel.key(
+            self.experiment.id, self.point.label, self.params_digest
+        )
+
+    def spec(self) -> PointSpec:
+        return PointSpec(
+            experiment=self.experiment,
+            experiment_id=self.experiment.id,
+            params=self.params,
+            point=self.point,
+            seed=self.seed,
+            params_digest=self.params_digest,
+        )
+
 
 class SweepRunner:
-    """Fan independent sweep points out to processes, cached and seeded.
+    """Fan independent sweep points out to a backend, cached and seeded.
 
     Parameters
     ----------
@@ -187,10 +183,11 @@ class SweepRunner:
     cache:
         A :class:`~repro.runner.cache.ResultCache`, or None to disable
         caching.  Only successful results are cached; a re-run of an
-        unchanged (version, params, point, seed) tuple is free.
+        unchanged (version, params, point, seed) tuple is free.  The
+        cache's cost ledger also feeds the cost-aware scheduler.
     timeout:
         Seconds to wait for one point's result before retrying/failing
-        it, or None to wait forever.  Enforced only on pool runs.
+        it, or None to wait forever.  Enforced only on pool backends.
     retries:
         Re-submissions after a point raises or times out.
     progress:
@@ -203,11 +200,20 @@ class SweepRunner:
     resume:
         Replay points already in the checkpoint journal instead of
         executing them (requires ``checkpoint``).
+    backend:
+        The execution seam: a backend name (``"serial"``,
+        ``"process"``, ``"shm"``), a
+        :class:`~repro.runner.backends.SweepBackend` instance, or None
+        to pick automatically (serial under ``jobs=1``, process pool
+        otherwise).  ``"serial"`` ignores ``jobs``.
+    schedule:
+        ``"cost"`` (default) submits predicted-longest points first
+        using the cache's runtime history; ``"fifo"`` keeps submission
+        order.  Either way merged payloads are identical.
     executor_factory:
-        ``max_workers -> Executor`` override for the worker pool
-        (default: :class:`~concurrent.futures.ProcessPoolExecutor`).
-        A seam for tests that need deterministic straggler timing via
-        thread pools; production sweeps should not need it.
+        Deprecated ``max_workers -> Executor`` seam; wrapped in a
+        :class:`~repro.runner.backends.LegacyExecutorBackend`.  Pass
+        ``backend=`` instead.
     """
 
     def __init__(
@@ -220,6 +226,8 @@ class SweepRunner:
         label: str = "sweep",
         checkpoint: Optional[SweepCheckpoint] = None,
         resume: bool = False,
+        backend: "str | SweepBackend | None" = None,
+        schedule: str = "cost",
         executor_factory: Optional[
             Callable[[int], concurrent.futures.Executor]
         ] = None,
@@ -230,6 +238,8 @@ class SweepRunner:
             raise ValueError("timeout must be positive (or None)")
         if resume and checkpoint is None:
             raise ValueError("resume=True requires a checkpoint")
+        if schedule not in ("cost", "fifo"):
+            raise ValueError(f"unknown schedule {schedule!r} (use 'cost' or 'fifo')")
         self.jobs = int(jobs)
         self.cache = cache
         self.timeout = timeout
@@ -242,7 +252,32 @@ class SweepRunner:
             self._reporter = None
         self.checkpoint = checkpoint
         self.resume = bool(resume)
+        self.schedule = schedule
+        if executor_factory is not None:
+            if backend is not None:
+                raise ValueError(
+                    "pass either backend= or the deprecated executor_factory=, "
+                    "not both"
+                )
+            warnings.warn(
+                "SweepRunner(executor_factory=...) is deprecated; pass "
+                "backend=LegacyExecutorBackend(factory) — or one of the "
+                "first-class backends ('serial', 'process', 'shm') — instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            backend = LegacyExecutorBackend(executor_factory)
         self.executor_factory = executor_factory
+        if isinstance(backend, str):
+            backend = create_backend(backend)
+        if backend is not None and not isinstance(backend, SweepBackend):
+            raise TypeError(
+                "backend must be a SweepBackend instance, a backend name, "
+                f"or None, not {type(backend).__name__}"
+            )
+        #: the declared backend; None means auto (serial under jobs=1,
+        #: process pool otherwise, inline shortcut for 1-point batches).
+        self.backend = backend
         self.last_stats: Optional[SweepStats] = None
         #: set after the first run_many touches the journal, so an
         #: ``all``-style sequence of calls shares one journal (only the
@@ -253,7 +288,11 @@ class SweepRunner:
     # Public API
     # ------------------------------------------------------------------
     def run(self, experiment: Any, params: Any, *, seed: int = 0) -> Any:
-        """Run one experiment's sweep and return its reduced payload."""
+        """Run one experiment's sweep and return its reduced payload.
+
+        Exactly a one-task :meth:`run_many`: both paths normalize
+        points, schedule, and dispatch through the same backend code.
+        """
         return self.run_many([(experiment, params)], seed=seed)[0]
 
     def run_many(
@@ -270,18 +309,12 @@ class SweepRunner:
         all_points: list[list[Any]] = []
         results: list[list[Any]] = []
         entries: list[_Entry] = []
+        need_digest = self.checkpoint is not None or self.cache is not None
         for task_index, (experiment, params) in enumerate(tasks):
-            points = list(experiment.points(params))
-            labels = [p.label for p in points]
-            if len(set(labels)) != len(labels):
-                raise ValueError(
-                    f"{experiment.id}: duplicate point labels in sweep"
-                )
+            points = self._normalize_points(experiment, params)
             all_points.append(points)
             results.append([None] * len(points))
-            digest = (
-                digest_params(params) if self.checkpoint is not None else ""
-            )
+            digest = digest_params(params) if need_digest else ""
             for point_index, point in enumerate(points):
                 point_seed = derive_seed(seed, f"{experiment.id}/{point.label}")
                 entries.append(
@@ -292,7 +325,7 @@ class SweepRunner:
         if self._reporter is not None:
             self._reporter.start(len(entries))
 
-        journalled: dict[tuple[str, str, int], Any] = {}
+        journalled: dict[tuple[str, str, int, str], Any] = {}
         if self.checkpoint is not None:
             if self.resume or self._checkpoint_used:
                 journalled = self.checkpoint.load()
@@ -328,12 +361,12 @@ class SweepRunner:
         interrupted = False
         if pending:
             try:
-                if self.jobs == 1 or len(pending) == 1:
-                    self._run_inline(pending, results, stats)
-                else:
-                    self._run_pool(pending, results, stats)
+                self._dispatch(pending, results, stats)
             except KeyboardInterrupt:
                 interrupted = True
+            finally:
+                if self.cache is not None:
+                    self.cache.costs.flush()
 
         stats.elapsed = time.perf_counter() - started
         stats.interrupted = interrupted
@@ -366,6 +399,53 @@ class SweepRunner:
         return payloads
 
     # ------------------------------------------------------------------
+    # Normalization and scheduling
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _normalize_points(experiment: Any, params: Any) -> list[Any]:
+        """Enumerate and validate one task's points (shared by run and
+        run_many — there is exactly one normalization path)."""
+        points = list(experiment.points(params))
+        labels = [p.label for p in points]
+        if len(set(labels)) != len(labels):
+            raise ValueError(
+                f"{experiment.id}: duplicate point labels in sweep"
+            )
+        return points
+
+    def _ordered(self, pending: list[_Entry], stats: SweepStats) -> list[_Entry]:
+        """Apply the cost-aware schedule: predicted-longest first.
+
+        Points without history keep submission order ahead of ranked
+        ones (they could be arbitrarily long, and a cold sweep must
+        behave exactly like FIFO).  Reordering is submission-side only;
+        results are merged by point index regardless.
+        """
+        if self.schedule != "cost" or self.cache is None or len(pending) < 2:
+            return pending
+        costs = self.cache.costs
+        ranked: list[tuple[int, float, int, _Entry]] = []
+        for index, entry in enumerate(pending):
+            predicted = costs.predict(entry.cost_key)
+            if predicted is None:
+                ranked.append((0, 0.0, index, entry))
+            else:
+                ranked.append((1, -predicted, index, entry))
+        ranked.sort(key=lambda item: item[:3])
+        ordered = [item[3] for item in ranked]
+        stats.reordered = sum(
+            1 for before, after in zip(pending, ordered) if before is not after
+        )
+        return ordered
+
+    def _resolve_backend(self, n_pending: int) -> SweepBackend:
+        if self.backend is not None:
+            return self.backend
+        if self.jobs == 1 or n_pending == 1:
+            return SerialBackend()
+        return ProcessPoolBackend()
+
+    # ------------------------------------------------------------------
     # Resolution paths
     # ------------------------------------------------------------------
     def _journal(self, entry: _Entry, value: Any) -> None:
@@ -375,11 +455,14 @@ class SweepRunner:
                 params_digest=entry.params_digest,
             )
 
-    def _record(self, entry: _Entry, value: Any, results, stats) -> None:
+    def _record(self, entry: _Entry, seconds, value, results, stats) -> None:
         results[entry.task_index][entry.point_index] = value
         stats.executed += 1
-        if self.cache is not None and entry.cache_key is not None and value is not None:
-            self.cache.put(entry.cache_key, value)
+        if self.cache is not None:
+            if entry.cache_key is not None and value is not None:
+                self.cache.put(entry.cache_key, value)
+            if seconds is not None:
+                self.cache.costs.observe(entry.cost_key, seconds)
         self._journal(entry, value)
         self._point_done(entry)
 
@@ -393,43 +476,43 @@ class SweepRunner:
         if self._reporter is not None:
             self._reporter.point_done(entry.point.label, cached=cached, failed=failed)
 
-    def _run_inline(self, pending, results, stats) -> None:
-        capture = _trace_capture()
+    def _dispatch(self, pending, results, stats) -> None:
+        """Order, then execute every pending entry on the backend."""
+        backend = self._resolve_backend(len(pending))
+        pending = self._ordered(pending, stats)
+        stats.backend = backend.name
+        if self.checkpoint is not None:
+            self.checkpoint.write_header(
+                backend=backend.name, jobs=self.jobs, schedule=self.schedule
+            )
+        backend.open(min(self.jobs, len(pending)))
+        if backend.inline:
+            self._drain_inline(backend, pending, results, stats)
+        else:
+            self._drain_pool(backend, pending, results, stats)
+
+    def _drain_inline(self, backend, pending, results, stats) -> None:
+        """Lazy submission for inline backends: each point's result is
+        recorded (and journalled) before the next point starts."""
         for entry in pending:
             attempts = 0
             while True:
                 attempts += 1
-                if capture is not None:
-                    capture.discard_active()  # failed attempts leave buses
-                try:
-                    value = entry.experiment.run_point(
-                        entry.params, entry.point, entry.seed
+                # KeyboardInterrupt propagates out of submit: completed
+                # points are already durable, the rest never started.
+                future = backend.submit(entry.spec())
+                exc = future.exception()
+                if exc is None:
+                    seconds, value = future.result()
+                    self._record(entry, seconds, value, results, stats)
+                    break
+                if attempts > self.retries:
+                    self._fail(
+                        entry, f"{type(exc).__name__}: {exc}", attempts, stats
                     )
-                except KeyboardInterrupt:
-                    raise
-                except Exception as exc:  # noqa: BLE001 - degrade, don't die
-                    if attempts > self.retries:
-                        self._fail(
-                            entry, f"{type(exc).__name__}: {exc}", attempts, stats
-                        )
-                        break
-                    continue
-                if capture is not None:
-                    capture.export_point_trace(
-                        entry.experiment.id, entry.point.label, entry.seed,
-                        entry.params_digest or digest_params(entry.params),
-                    )
-                self._record(entry, value, results, stats)
-                break
+                    break
 
-    def _make_pool(self, max_workers: int) -> concurrent.futures.Executor:
-        if self.executor_factory is not None:
-            return self.executor_factory(max_workers)
-        return concurrent.futures.ProcessPoolExecutor(max_workers=max_workers)
-
-    def _run_pool(self, pending, results, stats) -> None:
-        max_workers = min(self.jobs, len(pending))
-        pool = self._make_pool(max_workers)
+    def _drain_pool(self, backend, pending, results, stats) -> None:
         #: (entry, future) pairs still in flight after their entry was
         #: already decided — stragglers whose eventual successes are
         #: counted as duplicates, never recorded.
@@ -440,10 +523,7 @@ class SweepRunner:
             # successful submission" is a deterministic choice however
             # the straggler/retry race resolves.
             futures: dict[int, list[concurrent.futures.Future]] = {
-                id(entry): [pool.submit(
-                    _execute_point, entry.experiment.id, entry.params,
-                    entry.point, entry.seed,
-                )]
+                id(entry): [backend.submit(entry.spec())]
                 for entry in pending
             }
             for entry in pending:
@@ -455,11 +535,7 @@ class SweepRunner:
                     unfinished = [f for f in attempts if not f.done()]
                     progressed = False
                     if unfinished:
-                        done_now, _ = concurrent.futures.wait(
-                            unfinished,
-                            timeout=self.timeout,
-                            return_when=concurrent.futures.FIRST_COMPLETED,
-                        )
+                        done_now = backend.drain(unfinished, timeout=self.timeout)
                         progressed = bool(done_now)
                     winner = None
                     error = None
@@ -474,7 +550,8 @@ class SweepRunner:
                         else:
                             stats.duplicate_results += 1
                     if winner is not None:
-                        self._record(entry, winner.result(), results, stats)
+                        seconds, value = winner.result()
+                        self._record(entry, seconds, value, results, stats)
                         leftovers.extend(
                             (entry, future) for future in attempts
                             if not future.done()
@@ -485,10 +562,7 @@ class SweepRunner:
                         error = f"timed out after {self.timeout}s"
                     if len(attempts) <= self.retries:
                         try:
-                            attempts.append(pool.submit(
-                                _execute_point, entry.experiment.id,
-                                entry.params, entry.point, entry.seed,
-                            ))
+                            attempts.append(backend.submit(entry.spec()))
                         except Exception as exc:  # pool broken beyond repair
                             self._fail(
                                 entry,
@@ -513,15 +587,16 @@ class SweepRunner:
         except KeyboardInterrupt:
             # Don't block the Ctrl-C on stragglers: drop queued work and
             # leave without waiting for running futures.
-            pool.shutdown(wait=False, cancel_futures=True)
+            backend.close(wait=False, cancel_futures=True)
             raise
         else:
             if leftovers:
-                # The pool shutdown below waits for these anyway; count
-                # the straggler successes the race would have discarded.
+                # The backend shutdown below waits for these anyway;
+                # count the straggler successes the race would have
+                # discarded.
                 concurrent.futures.wait([future for _, future in leftovers])
                 for _, future in leftovers:
                     if (future.done() and not future.cancelled()
                             and future.exception() is None):
                         stats.duplicate_results += 1
-            pool.shutdown(wait=True)
+            backend.close(wait=True)

@@ -23,7 +23,7 @@ class TestFramework:
         rules = all_rules()
         ids = [r.id for r in rules]
         assert ids == sorted(ids)
-        assert ids == [f"SIM{n:03d}" for n in range(1, 10)]
+        assert ids == [f"SIM{n:03d}" for n in range(1, 11)]
         for rule in rules:
             assert rule.summary and rule.fixit
 
@@ -305,6 +305,46 @@ class TestSim009DeliveryHookSwap:
         src = "def wire(link, fn):\n    link.on_deliver = fn\n"
         assert lint_source(src, path="repro/net/link.py") == []
         assert lint_source(src, path="repro/obs/capture.py") == []
+
+
+class TestSim010RawExecutor:
+    def test_flags_direct_construction(self):
+        src = (
+            "import concurrent.futures\n"
+            "def fan_out(n):\n"
+            "    return concurrent.futures.ProcessPoolExecutor(max_workers=n)\n"
+        )
+        findings = lint_source(src, path="repro/runner/engine.py")
+        assert rule_ids(findings) == ["SIM010"]
+        assert "create_backend" in findings[0].fixit
+
+    def test_flags_from_import_construction(self):
+        src = (
+            "from concurrent.futures import ProcessPoolExecutor\n"
+            "def fan_out(n):\n"
+            "    return ProcessPoolExecutor(n)\n"
+        )
+        assert rule_ids(
+            lint_source(src, path="repro/experiments/custom.py")
+        ) == ["SIM010"]
+
+    def test_backends_package_is_exempt(self):
+        src = (
+            "import concurrent.futures\n"
+            "def make(n):\n"
+            "    return concurrent.futures.ProcessPoolExecutor(max_workers=n)\n"
+        )
+        assert lint_source(src, path="repro/runner/backends/pool.py") == []
+
+    def test_other_executors_are_fine(self):
+        # ThreadPoolExecutor is not the sweep seam (tests use it for
+        # deterministic straggler timing via LegacyExecutorBackend).
+        src = (
+            "import concurrent.futures\n"
+            "def make(n):\n"
+            "    return concurrent.futures.ThreadPoolExecutor(n)\n"
+        )
+        assert lint_source(src, path="repro/runner/engine.py") == []
 
 
 class TestCli:

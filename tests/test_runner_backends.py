@@ -1,0 +1,514 @@
+"""The SweepBackend seam: backend equivalence, shm transport, the
+cost-aware scheduler, and the deprecated executor_factory shim.
+
+The headline guarantees under test:
+
+* serial, process, and shm backends produce byte-identical merged
+  payloads *and* checkpoint journals for the same sweep;
+* shared-memory transport round-trips payloads exactly (threshold 0
+  forces every result through a segment) and leaves no segment behind;
+* scheduler reordering — any permutation at all, by hypothesis — can
+  never change merged output, and with cost history present the runner
+  submits predicted-longest points first;
+* a sweep SIGKILLed under the shm backend resumes under serial (the
+  journal is backend-independent);
+* ``executor_factory=`` still works but warns, and the CostModel ledger
+  survives corrupt files and round-trips through flush.
+"""
+
+import concurrent.futures
+import dataclasses
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.experiments import registry
+from repro.experiments.base import Experiment, Point
+from repro.experiments.store import to_jsonable
+from repro.runner import (
+    CostModel,
+    LegacyExecutorBackend,
+    ResultCache,
+    SweepCheckpoint,
+    SweepRunner,
+    create_backend,
+)
+from repro.runner.backends import BACKENDS, SharedMemoryBackend
+from repro.runner.checkpoint import digest_params
+from repro.sim.randomness import derive_seed
+
+
+@dataclasses.dataclass
+class _ToyParams:
+    protocol: str = "reno"
+
+    @classmethod
+    def paper(cls, protocol="reno", **overrides):
+        return cls(protocol=protocol, **overrides)
+
+    @classmethod
+    def quick(cls, protocol="reno", **overrides):
+        return cls(protocol=protocol, **overrides)
+
+
+class _SpyExperiment(Experiment):
+    """Records execution order; results depend only on (label, seed)."""
+
+    id = "toy-backend-spy"
+    title = "backend test double"
+    params_cls = _ToyParams
+
+    def __init__(self, n_points=4):
+        self.n_points = n_points
+        self.executed = []
+
+    def points(self, params):
+        return [Point(f"p{i}", {"i": i}) for i in range(self.n_points)]
+
+    def run_point(self, params, point, seed):
+        self.executed.append(point.label)
+        return {"label": point.label, "seed": seed}
+
+    def reduce(self, params, points, results):
+        return list(results)
+
+
+def _journal_point_lines(path):
+    """The journal's point records (header lines filtered), sorted."""
+    lines = [
+        line
+        for line in Path(path).read_text().splitlines()
+        if line and '"result"' in line
+    ]
+    return sorted(lines)
+
+
+# ----------------------------------------------------------------------
+# Cross-backend equivalence on a real experiment
+# ----------------------------------------------------------------------
+
+class TestBackendEquivalence:
+    @pytest.fixture(scope="class")
+    def reference(self, tmp_path_factory):
+        """The serial run every other backend must match."""
+        return self._sweep("serial", tmp_path_factory.mktemp("ref"))
+
+    @staticmethod
+    def _sweep(backend, tmp_path):
+        experiment = registry.get("incast")
+        params = experiment.make_params(
+            "quick", protocol="reno", sender_counts=(2, 3),
+            block_bytes=16 * 1024,
+        )
+        journal = tmp_path / f"{backend}.jsonl"
+        runner = SweepRunner(
+            jobs=2,
+            cache=None,
+            backend=backend,
+            checkpoint=SweepCheckpoint(journal),
+        )
+        payload = runner.run(experiment, params, seed=3)
+        return payload, _journal_point_lines(journal), runner.last_stats
+
+    @pytest.mark.parametrize("backend", ["process", "shm"])
+    def test_payloads_and_journals_identical(
+        self, backend, reference, tmp_path
+    ):
+        ref_payload, ref_journal, _ = reference
+        payload, journal, stats = self._sweep(backend, tmp_path)
+        assert to_jsonable(payload) == to_jsonable(ref_payload)
+        # Journal records hold base64 pickles: byte-identical means the
+        # transported results are byte-identical, not merely equal.
+        assert journal == ref_journal
+        assert stats.backend == backend
+        assert stats.failures == []
+
+    def test_stats_name_serial(self, reference):
+        assert reference[2].backend == "serial"
+
+
+# ----------------------------------------------------------------------
+# Shared-memory transport
+# ----------------------------------------------------------------------
+
+class TestSharedMemoryTransport:
+    @pytest.fixture
+    def spy(self):
+        experiment = _SpyExperiment()
+        registry._ensure_loaded()
+        registry._REGISTRY[experiment.id] = experiment
+        yield experiment
+        registry._REGISTRY.pop(experiment.id, None)
+
+    def test_threshold_zero_forces_segments_and_round_trips(self, spy):
+        # threshold 0: every result, however small, travels via shm.
+        runner = SweepRunner(
+            jobs=2, backend=SharedMemoryBackend(threshold_bytes=0)
+        )
+        payload = runner.run(spy, _ToyParams(), seed=9)
+        assert payload == [
+            {"label": f"p{i}", "seed": derive_seed(9, f"{spy.id}/p{i}")}
+            for i in range(4)
+        ]
+        assert runner.last_stats.backend == "shm"
+
+    def test_matches_serial_payload_exactly(self, spy):
+        serial = SweepRunner(backend="serial").run(spy, _ToyParams(), seed=2)
+        shm = SweepRunner(
+            jobs=2, backend=SharedMemoryBackend(threshold_bytes=0)
+        ).run(spy, _ToyParams(), seed=2)
+        assert shm == serial
+
+    def test_negative_threshold_rejected(self):
+        with pytest.raises(ValueError, match="threshold_bytes"):
+            SharedMemoryBackend(threshold_bytes=-1)
+
+
+# ----------------------------------------------------------------------
+# Backend selection and the deprecated seam
+# ----------------------------------------------------------------------
+
+class TestBackendSelection:
+    @pytest.fixture
+    def spy(self):
+        # Non-inline backends resolve experiments by id in the worker.
+        experiment = _SpyExperiment()
+        registry._ensure_loaded()
+        registry._REGISTRY[experiment.id] = experiment
+        yield experiment
+        registry._REGISTRY.pop(experiment.id, None)
+
+    def test_create_backend_unknown_name_lists_known(self):
+        with pytest.raises(ValueError, match="process.*serial.*shm"):
+            create_backend("threads")
+
+    def test_registry_names(self):
+        assert set(BACKENDS) == {"serial", "process", "shm"}
+
+    def test_runner_rejects_non_backend_object(self):
+        with pytest.raises(TypeError, match="SweepBackend"):
+            SweepRunner(backend=object())
+
+    def test_runner_rejects_unknown_schedule(self):
+        with pytest.raises(ValueError, match="schedule"):
+            SweepRunner(schedule="random")
+
+    def test_serial_backend_ignores_jobs(self):
+        spy = _SpyExperiment()
+        runner = SweepRunner(jobs=4, backend="serial")
+        runner.run(spy, _ToyParams(), seed=0)
+        assert runner.last_stats.backend == "serial"
+        assert spy.executed == ["p0", "p1", "p2", "p3"]
+
+    def test_executor_factory_warns_and_still_works(self, spy):
+        with pytest.warns(DeprecationWarning, match="executor_factory"):
+            runner = SweepRunner(
+                jobs=2,
+                executor_factory=lambda n: (
+                    concurrent.futures.ThreadPoolExecutor(n)
+                ),
+            )
+        payload = runner.run(spy, _ToyParams(), seed=1)
+        assert [r["label"] for r in payload] == ["p0", "p1", "p2", "p3"]
+        assert runner.last_stats.backend == "legacy"
+
+    def test_backend_and_executor_factory_conflict(self):
+        with pytest.raises(ValueError, match="not both"):
+            SweepRunner(
+                backend="serial",
+                executor_factory=lambda n: (
+                    concurrent.futures.ThreadPoolExecutor(n)
+                ),
+            )
+
+    def test_legacy_backend_without_warning(self, spy):
+        # The migration target: wrap the factory explicitly, no warning.
+        runner = SweepRunner(
+            jobs=2,
+            backend=LegacyExecutorBackend(
+                lambda n: concurrent.futures.ThreadPoolExecutor(n)
+            ),
+        )
+        payload = runner.run(spy, _ToyParams(), seed=1)
+        assert [r["label"] for r in payload] == ["p0", "p1", "p2", "p3"]
+
+
+# ----------------------------------------------------------------------
+# Scheduling
+# ----------------------------------------------------------------------
+
+class TestScheduler:
+    @settings(max_examples=25, deadline=None)
+    @given(perm=st.permutations(tuple(range(5))))
+    def test_any_submission_order_same_merged_payload(self, perm):
+        """Reordering is submission-side only: merge is by point index."""
+
+        class Reordering(SweepRunner):
+            def _ordered(self, pending, stats):
+                return [pending[i] for i in perm]
+
+        baseline = SweepRunner().run(
+            _SpyExperiment(n_points=5), _ToyParams(), seed=7
+        )
+        shuffled = Reordering().run(
+            _SpyExperiment(n_points=5), _ToyParams(), seed=7
+        )
+        assert shuffled == baseline
+
+    def test_cost_history_orders_longest_first(self, tmp_path):
+        spy = _SpyExperiment(n_points=4)
+        params = _ToyParams()
+        digest = digest_params(params)
+        cache = ResultCache(tmp_path / "cache")
+        # History for p1 and p3 only: unknowns (p0, p2) keep submission
+        # order and go first, then known points longest-first.
+        cache.costs.observe(CostModel.key(spy.id, "p1", digest), 0.5)
+        cache.costs.observe(CostModel.key(spy.id, "p3", digest), 2.0)
+        runner = SweepRunner(cache=cache, backend="serial")
+        runner.run(spy, params, seed=4)
+        assert spy.executed == ["p0", "p2", "p3", "p1"]
+        assert runner.last_stats.reordered > 0
+
+    def test_fifo_schedule_disables_reordering(self, tmp_path):
+        spy = _SpyExperiment(n_points=3)
+        params = _ToyParams()
+        digest = digest_params(params)
+        cache = ResultCache(tmp_path / "cache")
+        cache.costs.observe(CostModel.key(spy.id, "p2", digest), 9.0)
+        runner = SweepRunner(cache=cache, backend="serial", schedule="fifo")
+        runner.run(spy, params, seed=4)
+        assert spy.executed == ["p0", "p1", "p2"]
+        assert runner.last_stats.reordered == 0
+
+    def test_observed_costs_flushed_after_dispatch(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        runner = SweepRunner(cache=cache, backend="serial")
+        spy = _SpyExperiment(n_points=2)
+        runner.run(spy, _ToyParams(), seed=1)
+        # A fresh CostModel on the same path must see the measurements.
+        reloaded = CostModel(tmp_path / "cache" / "costs.json")
+        digest = digest_params(_ToyParams())
+        for label in ("p0", "p1"):
+            assert reloaded.predict(CostModel.key(spy.id, label, digest)) is not None
+
+
+# ----------------------------------------------------------------------
+# The CostModel ledger
+# ----------------------------------------------------------------------
+
+class TestCostModel:
+    def test_predict_without_history_is_none(self, tmp_path):
+        model = CostModel(tmp_path / "costs.json")
+        assert model.predict("fig8/p0@abc") is None
+
+    def test_ewma_half_old_half_new(self, tmp_path):
+        model = CostModel(tmp_path / "costs.json")
+        model.observe("k", 2.0)
+        assert model.predict("k") == 2.0
+        model.observe("k", 4.0)
+        assert model.predict("k") == 3.0
+
+    def test_negative_observation_ignored(self, tmp_path):
+        model = CostModel(tmp_path / "costs.json")
+        model.observe("k", -1.0)
+        assert model.predict("k") is None
+
+    def test_flush_round_trip(self, tmp_path):
+        path = tmp_path / "costs.json"
+        model = CostModel(path)
+        model.observe("a", 1.5)
+        model.flush()
+        assert CostModel(path).predict("a") == 1.5
+
+    def test_corrupt_file_means_empty(self, tmp_path):
+        path = tmp_path / "costs.json"
+        path.write_text("{not json")
+        model = CostModel(path)
+        assert model.predict("a") is None
+        model.observe("a", 1.0)
+        model.flush()  # and flush repairs the file
+        assert CostModel(path).predict("a") == 1.0
+
+    def test_in_memory_model_flush_is_noop(self):
+        model = CostModel(None)
+        model.observe("a", 1.0)
+        model.flush()
+        assert model.predict("a") == 1.0
+
+    def test_key_excludes_seed_by_construction(self):
+        # Different sweeps (seeds) share one history entry per point.
+        assert CostModel.key("fig8", "p0", "d1") == "fig8/p0@d1"
+
+
+# ----------------------------------------------------------------------
+# Journal headers and cross-backend resume
+# ----------------------------------------------------------------------
+
+class TestJournalHeader:
+    def test_header_round_trip(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        ckpt = SweepCheckpoint(path)
+        ckpt.write_header(backend="shm", jobs=4, schedule="cost")
+        ckpt.record("toy", "p0", 1, "ok")
+        ckpt.close()
+        loaded = SweepCheckpoint(path)
+        assert loaded.load() == {("toy", "p0", 1, ""): "ok"}
+        assert loaded.header["backend"] == "shm"
+        assert loaded.header["jobs"] == 4
+
+    def test_runner_writes_header_on_dispatch(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        runner = SweepRunner(
+            backend="serial", checkpoint=SweepCheckpoint(path)
+        )
+        runner.run(_SpyExperiment(), _ToyParams(), seed=1)
+        first = json.loads(path.read_text().splitlines()[0])
+        assert first["backend"] == "serial"
+        assert first["schedule"] == "cost"
+
+    def test_resume_accepts_records_from_another_backend(self, tmp_path):
+        spy = _SpyExperiment()
+        params = _ToyParams()
+        path = tmp_path / "journal.jsonl"
+        # A journal "left behind" by a process-backend run that only got
+        # through p1 (header + one record, written by hand).
+        seed_p1 = derive_seed(6, f"{spy.id}/p1")
+        ckpt = SweepCheckpoint(path)
+        ckpt.write_header(backend="process", jobs=8, schedule="cost")
+        ckpt.record(
+            spy.id, "p1", seed_p1, {"label": "p1", "seed": seed_p1},
+            params_digest=digest_params(params),
+        )
+        ckpt.close()
+        runner = SweepRunner(
+            backend="serial", checkpoint=SweepCheckpoint(path), resume=True
+        )
+        payload = runner.run(spy, params, seed=6)
+        assert runner.last_stats.resumed == 1
+        assert runner.last_stats.executed == 3
+        assert spy.executed == ["p0", "p2", "p3"]  # p1 replayed for free
+        baseline = SweepRunner().run(_SpyExperiment(), params, seed=6)
+        assert payload == baseline
+
+
+_SHM_KILL_SCRIPT = """
+import dataclasses, json, os, sys, time
+
+from repro.experiments import registry
+from repro.experiments.base import Experiment, Point
+from repro.runner import SweepCheckpoint, SweepRunner
+from repro.runner.backends import SharedMemoryBackend
+
+
+@dataclasses.dataclass
+class Params:
+    protocol: str = "reno"
+
+
+class Sleepy(Experiment):
+    id = "toy-shm-kill"
+    title = "shm kill -9 target"
+    params_cls = Params
+
+    def points(self, params):
+        return [Point(f"p{i}", {"i": i}) for i in range(3)]
+
+    def run_point(self, params, point, seed):
+        if point.kwargs["i"] >= 1 and os.environ.get("SLOW") == "1":
+            time.sleep(60.0)  # parent SIGKILLs us here
+        return {"i": point.kwargs["i"], "seed": seed, "f": 0.1 + 0.2}
+
+    def reduce(self, params, points, results):
+        return list(results)
+
+
+# Pool workers fork from this process, inheriting the registration.
+registry._ensure_loaded()
+registry._REGISTRY[Sleepy.id] = Sleepy()
+
+if os.environ.get("RESUME") == "1":
+    # Resume on a *different* backend than the one that crashed.
+    runner = SweepRunner(
+        checkpoint=SweepCheckpoint(sys.argv[1]), resume=True, backend="serial"
+    )
+else:
+    runner = SweepRunner(
+        jobs=2,
+        checkpoint=SweepCheckpoint(sys.argv[1]),
+        backend=SharedMemoryBackend(threshold_bytes=0),
+    )
+payload = runner.run(registry.get(Sleepy.id), Params(), seed=5)
+print(json.dumps({
+    "payload": payload,
+    "resumed": runner.last_stats.resumed,
+    "executed": runner.last_stats.executed,
+    "backend": runner.last_stats.backend,
+}))
+"""
+
+
+class TestShmKillDashNine:
+    def test_sigkill_under_shm_then_resume_under_serial(self, tmp_path):
+        script = tmp_path / "sweep.py"
+        script.write_text(_SHM_KILL_SCRIPT)
+        journal = tmp_path / "journal.jsonl"
+        env = dict(
+            os.environ,
+            PYTHONPATH=str(Path(__file__).resolve().parent.parent / "src"),
+        )
+
+        # Run 1 (shm backend): p0's segment-transported result lands in
+        # the journal, p1/p2 sleep in workers; SIGKILL the parent.
+        proc = subprocess.Popen(
+            [sys.executable, str(script), str(journal)],
+            env={**env, "SLOW": "1"},
+            stdout=subprocess.PIPE,
+        )
+        try:
+            deadline = time.monotonic() + 30.0
+            while time.monotonic() < deadline:
+                if journal.exists() and '"result"' in journal.read_text():
+                    break
+                time.sleep(0.05)
+            else:
+                pytest.fail("first point never reached the journal")
+            os.kill(proc.pid, signal.SIGKILL)
+        finally:
+            proc.wait(timeout=30.0)
+        assert proc.returncode == -signal.SIGKILL
+        loaded = SweepCheckpoint(journal)
+        journalled = loaded.load()
+        assert [(key[0], key[1]) for key in journalled] == [
+            ("toy-shm-kill", "p0")
+        ]
+        assert loaded.header["backend"] == "shm"
+
+        # Run 2: resume the shm journal on the serial backend.
+        resumed = subprocess.run(
+            [sys.executable, str(script), str(journal)],
+            env={**env, "SLOW": "0", "RESUME": "1"},
+            stdout=subprocess.PIPE,
+            check=True,
+            timeout=60.0,
+        )
+        outcome = json.loads(resumed.stdout)
+        assert outcome["resumed"] == 1
+        assert outcome["executed"] == 2
+        assert outcome["backend"] == "serial"
+
+        # Reference: an uninterrupted serial run with its own journal.
+        fresh = subprocess.run(
+            [sys.executable, str(script), str(tmp_path / "fresh.jsonl")],
+            env={**env, "SLOW": "0", "RESUME": "0"},
+            stdout=subprocess.PIPE,
+            check=True,
+            timeout=60.0,
+        )
+        assert outcome["payload"] == json.loads(fresh.stdout)["payload"]

@@ -30,7 +30,13 @@ import pytest
 
 from repro.experiments import registry
 from repro.experiments.base import Experiment, Point
-from repro.runner import ResultCache, SweepCheckpoint, SweepInterrupted, SweepRunner
+from repro.runner import (
+    LegacyExecutorBackend,
+    ResultCache,
+    SweepCheckpoint,
+    SweepInterrupted,
+    SweepRunner,
+)
 from repro.runner.checkpoint import digest_params
 from repro.sim.randomness import derive_seed
 
@@ -360,7 +366,9 @@ class TestStragglerRace:
             jobs=2,
             timeout=0.1,
             retries=1,
-            executor_factory=lambda n: concurrent.futures.ThreadPoolExecutor(n),
+            backend=LegacyExecutorBackend(
+                lambda n: concurrent.futures.ThreadPoolExecutor(n)
+            ),
         )
 
         class TwoPoints(_StragglerExperiment):
@@ -393,8 +401,8 @@ class TestStragglerRace:
                 jobs=2,
                 timeout=0.1,
                 retries=1,
-                executor_factory=lambda n: (
-                    concurrent.futures.ThreadPoolExecutor(n)
+                backend=LegacyExecutorBackend(
+                    lambda n: concurrent.futures.ThreadPoolExecutor(n)
                 ),
             )
 
@@ -474,7 +482,9 @@ class TestKillDashNine:
         try:
             deadline = time.monotonic() + 30.0
             while time.monotonic() < deadline:
-                if journal.exists() and journal.read_text().endswith("\n"):
+                # The journal opens with a backend header line; wait for
+                # an actual point record before pulling the trigger.
+                if journal.exists() and '"result"' in journal.read_text():
                     break
                 time.sleep(0.05)
             else:
