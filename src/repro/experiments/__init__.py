@@ -148,7 +148,7 @@ _DEPRECATED = {
 }
 
 
-def __getattr__(name: str):
+def __getattr__(name: str) -> object:
     """PEP 562 shim: the old ``run_*`` entry points, with a warning.
 
     The functions still exist on their defining modules; what is

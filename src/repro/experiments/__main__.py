@@ -35,8 +35,10 @@ import argparse
 import os
 import sys
 import time
+from typing import Any, Sequence
 
 from repro.experiments import registry
+from repro.experiments.base import Experiment
 from repro.runner import (
     ResultCache,
     SweepCheckpoint,
@@ -50,7 +52,9 @@ from repro.runner.cache import default_cache_dir
 EXPERIMENTS = {name: registry.get(name) for name in registry.ids()}
 
 
-def _run_one(name: str, exp, runner: SweepRunner, args) -> object:
+def _run_one(
+    name: str, exp: Experiment, runner: SweepRunner, args: argparse.Namespace
+) -> object:
     """Run one experiment for the CLI's protocol list; returns payload."""
     overrides = {}
     if exp.accepts_fault_plan and args.fault_plan_json is not None:
@@ -79,7 +83,9 @@ def _run_one(name: str, exp, runner: SweepRunner, args) -> object:
     return payload
 
 
-def _report_partial(tasks, payloads) -> None:
+def _report_partial(
+    tasks: Sequence[tuple[Experiment, Any]], payloads: Sequence[Any]
+) -> None:
     """Best-effort printing of whatever an interrupted sweep reduced."""
     for (experiment, params), payload in zip(tasks, payloads):
         if payload is None:

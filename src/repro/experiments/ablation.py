@@ -13,7 +13,7 @@ Three studies beyond the paper's own figures, called out in DESIGN.md:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Any, Sequence
 
 from repro.core import kguide
 from repro.experiments.base import Experiment, Point
@@ -79,8 +79,15 @@ def run_k_sweep(
 
 
 def _run_trim_star(
-    k, capacity, base_rtt, n_trains, bandwidth_bps, delay_s, buffer_pkts,
-    duration, mult,
+    k: float,
+    capacity: float,
+    base_rtt: float,
+    n_trains: int,
+    bandwidth_bps: float,
+    delay_s: float,
+    buffer_pkts: int,
+    duration: float,
+    mult: float,
 ) -> KSweepCase:
     sim = Simulator()
     star = build_star(
@@ -106,11 +113,11 @@ def _run_trim_star(
     baseline = {}
     queue_samples = []
 
-    def snapshot():
+    def snapshot() -> None:
         for sink in sinks:
             baseline[sink.flow_id] = sink.delivered_segments
 
-    def sample_queue():
+    def sample_queue() -> None:
         queue_samples.append(star.bottleneck.backlog_pkts)
         if sim.now < duration:
             sim.schedule(5e-4, sample_queue)
@@ -265,12 +272,12 @@ class AblationParams:
     alphas: Sequence[float] = (0.1, 0.25, 0.5, 0.9)
 
     @classmethod
-    def paper(cls, **overrides) -> "AblationParams":
+    def paper(cls, **overrides: Any) -> "AblationParams":
         overrides.setdefault("preset", "paper")
         return cls(**overrides)
 
     @classmethod
-    def quick(cls, **overrides) -> "AblationParams":
+    def quick(cls, **overrides: Any) -> "AblationParams":
         overrides.setdefault("preset", "quick")
         return cls(**overrides)
 
@@ -284,10 +291,10 @@ class AblationExperiment(Experiment):
     params_cls = AblationParams
     uses_protocols = False
 
-    def points(self, params: AblationParams):
+    def points(self, params: AblationParams) -> list[Point]:
         return [Point("k_sweep"), Point("probe_policies"), Point("alpha_sweep")]
 
-    def run_point(self, params: AblationParams, point: Point, seed: int):
+    def run_point(self, params: AblationParams, point: Point, seed: int) -> Any:
         if point.label == "k_sweep":
             return run_k_sweep(multipliers=params.k_multipliers)
         if point.label == "probe_policies":
@@ -297,10 +304,10 @@ class AblationExperiment(Experiment):
             )
         return run_alpha_sweep(alphas=params.alphas)
 
-    def reduce(self, params, points, results):
+    def reduce(self, params: Any, points: Sequence[Point], results: Sequence[Any]) -> Any:
         return {p.label: r for p, r in zip(points, results)}
 
-    def report(self, params, payload) -> None:
+    def report(self, params: Any, payload: Any) -> None:
         MS = 1e3
         print("K sweep (5 TRIM trains, 1 Gbps star):")
         for case in payload["k_sweep"]:

@@ -71,7 +71,7 @@ class Experiment(abc.ABC):
     # Parameter construction
     # ------------------------------------------------------------------
     def make_params(
-        self, preset: str = "quick", protocol: Optional[str] = None, **overrides
+        self, preset: str = "quick", protocol: Optional[str] = None, **overrides: Any
     ) -> Any:
         """Build a params dataclass for ``preset`` (and ``protocol``)."""
         if self.params_cls is None:

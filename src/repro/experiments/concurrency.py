@@ -11,7 +11,7 @@ milliseconds (Fig. 7).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Any, Sequence
 
 from repro.experiments.base import Experiment, Point
 from repro.experiments.registry import register
@@ -55,11 +55,11 @@ class ConcurrencyParams:
     deadline: float = 3.0
 
     @classmethod
-    def paper(cls, protocol: str = "reno", **overrides) -> "ConcurrencyParams":
+    def paper(cls, protocol: str = "reno", **overrides: Any) -> "ConcurrencyParams":
         return cls(protocol=protocol, **overrides)
 
     @classmethod
-    def quick(cls, protocol: str = "reno", **overrides) -> "ConcurrencyParams":
+    def quick(cls, protocol: str = "reno", **overrides: Any) -> "ConcurrencyParams":
         defaults = dict(spt_counts=(2, 6, 10), deadline=2.0)
         defaults.update(overrides)
         return cls(protocol=protocol, **defaults)
@@ -157,17 +157,17 @@ class ConcurrencyExperiment(Experiment):
     title = "Fig. 5/7 ACT vs number of concurrent SPT servers"
     params_cls = ConcurrencyParams
 
-    def points(self, params: ConcurrencyParams):
+    def points(self, params: ConcurrencyParams) -> list[Point]:
         return [Point(f"spt{n}", {"n_spts": n}) for n in params.spt_counts]
 
-    def run_point(self, params: ConcurrencyParams, point: Point, seed: int):
+    def run_point(self, params: ConcurrencyParams, point: Point, seed: int) -> Any:
         return run_concurrency(params, point.kwargs["n_spts"])
 
-    def reduce(self, params, points, results):
+    def reduce(self, params: Any, points: Sequence[Point], results: Sequence[Any]) -> Any:
         """One ConcurrencyCase per SPT count, in sweep order."""
         return [r for r in results if r is not None]
 
-    def report(self, params, payload) -> None:
+    def report(self, params: Any, payload: Any) -> None:
         MS = 1e3
         print(f"[{params.protocol}] ACT of SPTs with {params.n_lpts} LPTs:")
         for case in payload:

@@ -13,6 +13,8 @@ arrival/departure epochs (what the figure is actually about).
 
 from __future__ import annotations
 
+from typing import Any, Sequence
+
 from dataclasses import dataclass
 
 from repro.experiments.base import Experiment, Point
@@ -61,11 +63,11 @@ class FairnessParams:
         return self.stop_start + self.stagger * (self.n_flows - 1) + self.stagger / 2
 
     @classmethod
-    def paper(cls, protocol: str = "reno", **overrides) -> "FairnessParams":
+    def paper(cls, protocol: str = "reno", **overrides: Any) -> "FairnessParams":
         return cls(protocol=protocol, **overrides)
 
     @classmethod
-    def quick(cls, protocol: str = "reno", **overrides) -> "FairnessParams":
+    def quick(cls, protocol: str = "reno", **overrides: Any) -> "FairnessParams":
         """10× shorter epochs at 10× lower speed: same epoch structure."""
         defaults = dict(
             bottleneck_bps=1e8,
@@ -155,16 +157,16 @@ class FairnessExperiment(Experiment):
     title = "Fig. 10 convergence and fairness"
     params_cls = FairnessParams
 
-    def points(self, params: FairnessParams):
+    def points(self, params: FairnessParams) -> list[Point]:
         return [Point("run")]
 
-    def run_point(self, params: FairnessParams, point: Point, seed: int):
+    def run_point(self, params: FairnessParams, point: Point, seed: int) -> Any:
         return run_fairness(params)
 
-    def reduce(self, params, points, results):
+    def reduce(self, params: Any, points: Sequence[Point], results: Sequence[Any]) -> Any:
         return results[0]
 
-    def report(self, params, payload) -> None:
+    def report(self, params: Any, payload: Any) -> None:
         r = payload
         shares = [f"{s / 1e6:.0f}" for s in r.plateau_shares]
         print(f"[{params.protocol}] Fig.10 plateau shares (Mbps): {shares}  "

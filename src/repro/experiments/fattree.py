@@ -12,7 +12,7 @@ number of RTO events (Table I).
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Sequence
+from typing import Any, Sequence
 
 from repro.experiments.base import Experiment, Point
 from repro.experiments.registry import register
@@ -60,11 +60,11 @@ class FatTreeParams:
     seed: int = 1
 
     @classmethod
-    def paper(cls, protocol: str = "reno", **overrides) -> "FatTreeParams":
+    def paper(cls, protocol: str = "reno", **overrides: Any) -> "FatTreeParams":
         return cls(protocol=protocol, **overrides)
 
     @classmethod
-    def quick(cls, protocol: str = "reno", **overrides) -> "FatTreeParams":
+    def quick(cls, protocol: str = "reno", **overrides: Any) -> "FatTreeParams":
         """Smaller transfers; same split structure and topology."""
         defaults = dict(
             pod_counts=(4, 6), total_bytes=300_000, n_small=10, deadline=3.0
@@ -182,17 +182,17 @@ class FatTreeExperiment(Experiment):
     title = "Fig. 12 / Table I fat-tree comparison"
     params_cls = FatTreeParams
 
-    def points(self, params: FatTreeParams):
+    def points(self, params: FatTreeParams) -> list[Point]:
         return [Point(f"k{k}", {"k": k}) for k in params.pod_counts]
 
-    def run_point(self, params: FatTreeParams, point: Point, seed: int):
+    def run_point(self, params: FatTreeParams, point: Point, seed: int) -> Any:
         return run_fattree(replace(params, k=point.kwargs["k"], seed=seed))
 
-    def reduce(self, params, points, results):
+    def reduce(self, params: Any, points: Sequence[Point], results: Sequence[Any]) -> Any:
         """One FatTreeResult per pod count, in sweep order."""
         return [r for r in results if r is not None]
 
-    def report(self, params, payload) -> None:
+    def report(self, params: Any, payload: Any) -> None:
         MS = 1e3
         print(f"[{params.protocol}] Fig.12 mean/max completion (ms) "
               f"and Table I timeouts:")

@@ -22,7 +22,7 @@ A custom plan file can replace the built-in one via the CLI's
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import Any, Callable, Optional, Sequence
 
 from repro.experiments.base import Experiment, Point
 from repro.experiments.registry import register
@@ -88,11 +88,11 @@ class FaultsParams:
     plan_json: Optional[str] = None
 
     @classmethod
-    def paper(cls, protocol: str = "reno", **overrides) -> "FaultsParams":
+    def paper(cls, protocol: str = "reno", **overrides: Any) -> "FaultsParams":
         return cls(protocol=protocol, **overrides)
 
     @classmethod
-    def quick(cls, protocol: str = "reno", **overrides) -> "FaultsParams":
+    def quick(cls, protocol: str = "reno", **overrides: Any) -> "FaultsParams":
         defaults = dict(
             intensities=(0.0, 1.0),
             senders=4,
@@ -188,7 +188,7 @@ def run_faults_case(params: FaultsParams, intensity: float, seed: int) -> Faults
             lambda s=source: s.send_message(_BACKLOGGED_SEGMENTS),
         )
 
-    def surge_factory(index: int):
+    def surge_factory(index: int) -> Callable[[], None]:
         source = surge_sources[index % len(surge_sources)]
         source.send_message(_BACKLOGGED_SEGMENTS)
         return source.stop
@@ -224,20 +224,20 @@ class FaultsExperiment(Experiment):
     params_cls = FaultsParams
     accepts_fault_plan = True
 
-    def points(self, params: FaultsParams):
+    def points(self, params: FaultsParams) -> list[Point]:
         return [
             Point(f"i{intensity:g}", {"intensity": intensity})
             for intensity in params.intensities
         ]
 
-    def run_point(self, params: FaultsParams, point: Point, seed: int):
+    def run_point(self, params: FaultsParams, point: Point, seed: int) -> Any:
         return run_faults_case(params, point.kwargs["intensity"], seed)
 
-    def reduce(self, params, points, results):
+    def reduce(self, params: Any, points: Sequence[Point], results: Sequence[Any]) -> Any:
         """One FaultsCase per intensity, in sweep order."""
         return [r for r in results if r is not None]
 
-    def report(self, params, payload) -> None:
+    def report(self, params: Any, payload: Any) -> None:
         print(f"[{params.protocol}] goodput/RTOs vs fault intensity "
               f"({params.senders} senders, horizon {params.horizon:g}s):")
         for case in payload:

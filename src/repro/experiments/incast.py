@@ -15,7 +15,7 @@ mechanism the way the incast literature plots it.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Any, Sequence
 
 from repro.experiments.base import Experiment, Point
 from repro.experiments.registry import register
@@ -54,11 +54,11 @@ class IncastParams:
     deadline: float = 10.0
 
     @classmethod
-    def paper(cls, protocol: str = "reno", **overrides) -> "IncastParams":
+    def paper(cls, protocol: str = "reno", **overrides: Any) -> "IncastParams":
         return cls(protocol=protocol, **overrides)
 
     @classmethod
-    def quick(cls, protocol: str = "reno", **overrides) -> "IncastParams":
+    def quick(cls, protocol: str = "reno", **overrides: Any) -> "IncastParams":
         defaults = dict(sender_counts=(2, 8, 24, 48))
         defaults.update(overrides)
         return cls(protocol=protocol, **defaults)
@@ -140,17 +140,17 @@ class IncastExperiment(Experiment):
     title = "Incast goodput vs fan-in"
     params_cls = IncastParams
 
-    def points(self, params: IncastParams):
+    def points(self, params: IncastParams) -> list[Point]:
         return [Point(f"n{n}", {"n_senders": n}) for n in params.sender_counts]
 
-    def run_point(self, params: IncastParams, point: Point, seed: int):
+    def run_point(self, params: IncastParams, point: Point, seed: int) -> Any:
         return run_incast(params, point.kwargs["n_senders"])
 
-    def reduce(self, params, points, results):
+    def reduce(self, params: Any, points: Sequence[Point], results: Sequence[Any]) -> Any:
         """One IncastCase per fan-in, in sweep order."""
         return [r for r in results if r is not None]
 
-    def report(self, params, payload) -> None:
+    def report(self, params: Any, payload: Any) -> None:
         MS = 1e3
         print(f"[{params.protocol}] incast goodput vs fan-in "
               f"({params.block_bytes // 1024} KB blocks):")

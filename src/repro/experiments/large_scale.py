@@ -16,7 +16,7 @@ SPT size distribution.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Sequence
+from typing import Any, Sequence
 
 import numpy as np
 
@@ -69,11 +69,11 @@ class LargeScaleParams:
     seed: int = 1
 
     @classmethod
-    def paper(cls, protocol: str = "reno", **overrides) -> "LargeScaleParams":
+    def paper(cls, protocol: str = "reno", **overrides: Any) -> "LargeScaleParams":
         return cls(protocol=protocol, **overrides)
 
     @classmethod
-    def quick(cls, protocol: str = "reno", **overrides) -> "LargeScaleParams":
+    def quick(cls, protocol: str = "reno", **overrides: Any) -> "LargeScaleParams":
         """Shrunk fan-in: 12 servers/switch at 10× slower links."""
         defaults = dict(
             switch_counts=(2, 4, 6),
@@ -217,14 +217,14 @@ class LargeScaleExperiment(Experiment):
     title = "Fig. 8 large-scale ACT of SPTs"
     params_cls = LargeScaleParams
 
-    def points(self, params: LargeScaleParams):
+    def points(self, params: LargeScaleParams) -> list[Point]:
         return [
             Point(f"sw{n}-r{r}", {"n_switches": n, "repeat": r})
             for n in params.switch_counts
             for r in range(params.repeats)
         ]
 
-    def run_point(self, params: LargeScaleParams, point: Point, seed: int):
+    def run_point(self, params: LargeScaleParams, point: Point, seed: int) -> Any:
         times, n_spts, timeouts = run_large_scale(
             replace(params, seed=seed),
             point.kwargs["n_switches"],
@@ -232,7 +232,7 @@ class LargeScaleExperiment(Experiment):
         )
         return {"times": times, "n_spts": n_spts, "timeouts": timeouts}
 
-    def reduce(self, params, points, results):
+    def reduce(self, params: Any, points: Sequence[Point], results: Sequence[Any]) -> Any:
         cases = []
         for n_switches in params.switch_counts:
             all_times: list[float] = []
@@ -260,7 +260,7 @@ class LargeScaleExperiment(Experiment):
             )
         return cases
 
-    def report(self, params, payload) -> None:
+    def report(self, params: Any, payload: Any) -> None:
         MS = 1e3
         print(f"[{params.protocol}] large-scale ACT of SPTs "
               f"({params.distribution}):")

@@ -14,6 +14,8 @@ Run the same function with ``protocol="reno"`` for Fig. 4 and
 
 from __future__ import annotations
 
+from typing import Any, Sequence
+
 from dataclasses import dataclass, field, replace
 
 from repro.experiments.base import Experiment, Point
@@ -65,11 +67,11 @@ class MotivationParams:
     trace_period: float = 1e-3
 
     @classmethod
-    def paper(cls, protocol: str = "reno", **overrides) -> "MotivationParams":
+    def paper(cls, protocol: str = "reno", **overrides: Any) -> "MotivationParams":
         return cls(protocol=protocol, **overrides)
 
     @classmethod
-    def quick(cls, protocol: str = "reno", **overrides) -> "MotivationParams":
+    def quick(cls, protocol: str = "reno", **overrides: Any) -> "MotivationParams":
         """Same scenario, lighter: fewer responses and a smaller LPT."""
         defaults = dict(
             n_responses=100, lpt_bytes=500_000, deadline=2.0
@@ -191,16 +193,16 @@ class MotivationExperiment(Experiment):
     title = "Fig. 4/6 motivation & impairment scenario"
     params_cls = MotivationParams
 
-    def points(self, params: MotivationParams):
+    def points(self, params: MotivationParams) -> list[Point]:
         return [Point("run")]
 
-    def run_point(self, params: MotivationParams, point: Point, seed: int):
+    def run_point(self, params: MotivationParams, point: Point, seed: int) -> Any:
         return run_motivation(replace(params, seed=seed))
 
-    def reduce(self, params, points, results):
+    def reduce(self, params: Any, points: Sequence[Point], results: Sequence[Any]) -> Any:
         return results[0]
 
-    def report(self, params, payload) -> None:
+    def report(self, params: Any, payload: Any) -> None:
         if payload is None:
             print(f"[{params.protocol}] point failed")
             return

@@ -10,6 +10,10 @@ TCP-TRIM versus 259 / 471 / 233 Mbps under TCP.
 
 from __future__ import annotations
 
+from typing import Any, Sequence
+
+from repro.tcp.base import TcpSink
+
 from dataclasses import dataclass
 
 from repro.experiments.base import Experiment, Point
@@ -52,11 +56,11 @@ class MultiHopParams:
     min_rto: float = 10e-3
 
     @classmethod
-    def paper(cls, protocol: str = "reno", **overrides) -> "MultiHopParams":
+    def paper(cls, protocol: str = "reno", **overrides: Any) -> "MultiHopParams":
         return cls(protocol=protocol, **overrides)
 
     @classmethod
-    def quick(cls, protocol: str = "reno", **overrides) -> "MultiHopParams":
+    def quick(cls, protocol: str = "reno", **overrides: Any) -> "MultiHopParams":
         """10× slower links, same oversubscription ratios."""
         defaults = dict(host_bps=1e8, trunk_bps=1e9, end_time=0.8, measure_from=0.2)
         defaults.update(overrides)
@@ -135,7 +139,7 @@ def run_multihop(params: MultiHopParams) -> MultiHopResult:
     window = params.end_time - params.measure_from
     mss = config.mss_bytes
 
-    def throughput(sink) -> float:
+    def throughput(sink: TcpSink) -> float:
         segments = sink.delivered_segments - baseline.get(sink.flow_id, 0)
         return segments * mss * 8.0 / window
 
@@ -158,16 +162,16 @@ class MultiHopExperiment(Experiment):
     title = "Fig. 11 multi-hop, multi-bottleneck throughput"
     params_cls = MultiHopParams
 
-    def points(self, params: MultiHopParams):
+    def points(self, params: MultiHopParams) -> list[Point]:
         return [Point("run")]
 
-    def run_point(self, params: MultiHopParams, point: Point, seed: int):
+    def run_point(self, params: MultiHopParams, point: Point, seed: int) -> Any:
         return run_multihop(params)
 
-    def reduce(self, params, points, results):
+    def reduce(self, params: Any, points: Sequence[Point], results: Sequence[Any]) -> Any:
         return results[0]
 
-    def report(self, params, payload) -> None:
+    def report(self, params: Any, payload: Any) -> None:
         r = payload
         print(f"[{params.protocol}] Fig.11 per-sender throughput: "
               f"A={r.mean('a') / 1e6:6.1f}Mbps  B={r.mean('b') / 1e6:6.1f}Mbps  "

@@ -14,7 +14,7 @@ packets) exercised four ways:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Any, Sequence
 
 from repro.experiments.base import Experiment, Point
 from repro.experiments.registry import register
@@ -27,7 +27,7 @@ from repro.experiments.scenarios import (
 )
 from repro.http.apps import LongTrainSender
 from repro.metrics.monitors import QueueMonitor
-from repro.net.topology import build_star
+from repro.net.topology import StarTopology, build_star
 from repro.sim.kernel import Simulator
 from repro.sim.monitor import TimeSeries
 from repro.tcp.factory import default_config
@@ -59,11 +59,11 @@ class PropertiesParams:
     sweep_counts: Sequence[int] = (2, 4, 6, 8, 10)
 
     @classmethod
-    def paper(cls, protocol: str = "reno", **overrides) -> "PropertiesParams":
+    def paper(cls, protocol: str = "reno", **overrides: Any) -> "PropertiesParams":
         return cls(protocol=protocol, **overrides)
 
     @classmethod
-    def quick(cls, protocol: str = "reno", **overrides) -> "PropertiesParams":
+    def quick(cls, protocol: str = "reno", **overrides: Any) -> "PropertiesParams":
         defaults = dict(end_time=0.4, measure_from=0.15)
         defaults.update(overrides)
         return cls(protocol=protocol, **defaults)
@@ -82,7 +82,9 @@ class PropertiesCase:
     timeouts: int
 
 
-def _build(params: PropertiesParams, n_trains: int):
+def _build(
+    params: PropertiesParams, n_trains: int
+) -> tuple[Simulator, StarTopology, ConnectionSet, list[TcpSource]]:
     sim = Simulator()
     star = build_star(
         sim,
@@ -172,23 +174,23 @@ class PropertiesExperiment(Experiment):
     title = "Fig. 9 TCP-TRIM properties (queue, drops, goodput)"
     params_cls = PropertiesParams
 
-    def points(self, params: PropertiesParams):
+    def points(self, params: PropertiesParams) -> list[Point]:
         return [Point("trace")] + [
             Point(f"n{n}", {"n_trains": n}) for n in params.sweep_counts
         ]
 
-    def run_point(self, params: PropertiesParams, point: Point, seed: int):
+    def run_point(self, params: PropertiesParams, point: Point, seed: int) -> Any:
         if point.label == "trace":
             return run_queue_trace(params, n_trains=params.trace_trains)
         return run_properties_case(params, point.kwargs["n_trains"])
 
-    def reduce(self, params, points, results):
+    def reduce(self, params: Any, points: Sequence[Point], results: Sequence[Any]) -> Any:
         return {
             "queue_trace": results[0],
             "sweep": [r for r in results[1:] if r is not None],
         }
 
-    def report(self, params, payload) -> None:
+    def report(self, params: Any, payload: Any) -> None:
         trace = payload["queue_trace"]
         print(f"[{params.protocol}] Fig.9a queue with "
               f"{params.trace_trains} LPTs: "

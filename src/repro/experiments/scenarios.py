@@ -9,7 +9,7 @@ timeout tally across all senders.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Iterable, Optional
+from typing import Callable, Iterable, Optional
 
 from repro.net.node import Host
 from repro.net.packet import MSS_BYTES
@@ -44,7 +44,7 @@ def warm_config(config: TcpConfig, ssthresh: float = WARM_SSTHRESH) -> TcpConfig
 
 def run_until(
     sim: Simulator,
-    predicate,
+    predicate: Callable[[], bool],
     deadline: float,
     step: float = 0.05,
 ) -> bool:
@@ -158,7 +158,7 @@ class ConnectionSet:
             config=config,
             **kwargs,
         )
-        sink = TcpSink(self.sim, dst_host, flow_id)
+        sink = TcpSink(self.sim, dst_host, flow_id=flow_id)
         self.sources.append(source)
         self.sinks.append(sink)
         return source, sink

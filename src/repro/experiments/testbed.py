@@ -16,7 +16,7 @@ setups as simulator scenarios (see DESIGN.md's substitution table):
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Sequence
+from typing import Any, Sequence
 
 from repro.experiments.base import Experiment, Point
 from repro.experiments.registry import register
@@ -79,11 +79,11 @@ class ArctParams:
     seed: int = 1
 
     @classmethod
-    def paper(cls, protocol: str = "cubic", **overrides) -> "ArctParams":
+    def paper(cls, protocol: str = "cubic", **overrides: Any) -> "ArctParams":
         return cls(protocol=protocol, **overrides)
 
     @classmethod
-    def quick(cls, protocol: str = "cubic", **overrides) -> "ArctParams":
+    def quick(cls, protocol: str = "cubic", **overrides: Any) -> "ArctParams":
         defaults = dict(
             mean_sizes_bytes=(32_768, 131_072, 524_288), n_responses=20
         )
@@ -200,11 +200,11 @@ class WebServiceParams:
     seed: int = 1
 
     @classmethod
-    def paper(cls, protocol: str = "cubic", **overrides) -> "WebServiceParams":
+    def paper(cls, protocol: str = "cubic", **overrides: Any) -> "WebServiceParams":
         return cls(protocol=protocol, **overrides)
 
     @classmethod
-    def quick(cls, protocol: str = "cubic", **overrides) -> "WebServiceParams":
+    def quick(cls, protocol: str = "cubic", **overrides: Any) -> "WebServiceParams":
         defaults = dict(n_responses_per_server=150, deadline=10.0)
         defaults.update(overrides)
         return cls(protocol=protocol, **defaults)
@@ -316,7 +316,7 @@ class ArctExperiment(Experiment):
     title = "Fig. 13(a) ARCT vs mean response size"
     params_cls = ArctParams
 
-    def select_protocols(self, protocols):
+    def select_protocols(self, protocols: Sequence[str]) -> list[str]:
         # The testbed comparison is CUBIC (the Linux default) vs TRIM;
         # ECN protocols are out of scope for Fig. 13(a).
         selected = [p for p in protocols if p not in ("dctcp", "l2dct")]
@@ -324,21 +324,21 @@ class ArctExperiment(Experiment):
             selected = ["cubic", "trim"]
         return selected
 
-    def points(self, params: ArctParams):
+    def points(self, params: ArctParams) -> list[Point]:
         return [
             Point(f"size{m}", {"mean_size": m}) for m in params.mean_sizes_bytes
         ]
 
-    def run_point(self, params: ArctParams, point: Point, seed: int):
+    def run_point(self, params: ArctParams, point: Point, seed: int) -> Any:
         return _run_arct_case(
             replace(params, seed=seed), point.kwargs["mean_size"]
         )
 
-    def reduce(self, params, points, results):
+    def reduce(self, params: Any, points: Sequence[Point], results: Sequence[Any]) -> Any:
         """One ArctCase per mean response size, in sweep order."""
         return [r for r in results if r is not None]
 
-    def report(self, params, payload) -> None:
+    def report(self, params: Any, payload: Any) -> None:
         MS = 1e3
         print(f"[{params.protocol}] Fig.13a ARCT vs mean response size:")
         for case in payload:
@@ -355,16 +355,16 @@ class WebServiceExperiment(Experiment):
     title = "Fig. 13(b)-(e) web-service response times"
     params_cls = WebServiceParams
 
-    def points(self, params: WebServiceParams):
+    def points(self, params: WebServiceParams) -> list[Point]:
         return [Point("run")]
 
-    def run_point(self, params: WebServiceParams, point: Point, seed: int):
+    def run_point(self, params: WebServiceParams, point: Point, seed: int) -> Any:
         return run_web_service(replace(params, seed=seed))
 
-    def reduce(self, params, points, results):
+    def reduce(self, params: Any, points: Sequence[Point], results: Sequence[Any]) -> Any:
         return results[0]
 
-    def report(self, params, payload) -> None:
+    def report(self, params: Any, payload: Any) -> None:
         MS = 1e3
         r = payload
         print(f"[{params.protocol}] Fig.13b-e web service: "

@@ -11,6 +11,8 @@ statistics (the anchors of Fig. 2).
 
 from __future__ import annotations
 
+from typing import Any, Sequence
+
 from dataclasses import dataclass
 
 from repro.experiments.base import Experiment, Point
@@ -97,11 +99,11 @@ class WorkloadParams:
     gap_rule: float = 150e-6
 
     @classmethod
-    def paper(cls, **overrides) -> "WorkloadParams":
+    def paper(cls, **overrides: Any) -> "WorkloadParams":
         return cls(**overrides)
 
     @classmethod
-    def quick(cls, **overrides) -> "WorkloadParams":
+    def quick(cls, **overrides: Any) -> "WorkloadParams":
         return cls(**overrides)
 
 
@@ -115,10 +117,10 @@ class WorkloadExperiment(Experiment):
     params_cls = WorkloadParams
     uses_protocols = False
 
-    def points(self, params: WorkloadParams):
+    def points(self, params: WorkloadParams) -> list[Point]:
         return [Point("workload")]
 
-    def run_point(self, params: WorkloadParams, point: Point, seed: int):
+    def run_point(self, params: WorkloadParams, point: Point, seed: int) -> Any:
         wl = characterize_workload(
             seed=seed,
             duration=params.duration,
@@ -135,10 +137,10 @@ class WorkloadExperiment(Experiment):
             "gap_max": max(wl.gaps) if wl.gaps else None,
         }
 
-    def reduce(self, params, points, results):
+    def reduce(self, params: Any, points: Sequence[Point], results: Sequence[Any]) -> Any:
         return results[0]
 
-    def report(self, params, payload) -> None:
+    def report(self, params: Any, payload: Any) -> None:
         if payload is None:
             print("Fig.1/2 workload: point failed")
             return

@@ -19,7 +19,7 @@ persistent TCP connections:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, Optional
+from typing import Any, Callable, Iterable, Optional
 
 from repro.http.workload import OnOffEvent
 from repro.net.node import Host
@@ -159,7 +159,7 @@ class HttpSession:
         request_config: Optional[TcpConfig] = None,
         service_time: float = 0.0,
         persistent: bool = True,
-        **response_kwargs,
+        **response_kwargs: Any,
     ) -> None:
         if service_time < 0:
             raise ValueError("service time cannot be negative")
@@ -178,12 +178,12 @@ class HttpSession:
                 "reno", sim, frontend, server.node_id,
                 flow_id=request_flow_id, config=self._request_config,
             )
-            self.request_sink = TcpSink(sim, server, request_flow_id)
+            self.request_sink = TcpSink(sim, server, flow_id=request_flow_id)
             self.response_source = create_source(
                 protocol, sim, server, frontend.node_id,
                 flow_id=response_flow_id, config=config, **response_kwargs,
             )
-            self.response_sink = TcpSink(sim, frontend, response_flow_id)
+            self.response_sink = TcpSink(sim, frontend, flow_id=response_flow_id)
         else:
             # Non-persistent HTTP: every exchange opens a fresh pair of
             # connections and pays an on-path SYN round trip first —
@@ -192,7 +192,7 @@ class HttpSession:
             self.response_source = None
         self.exchanges: list[Exchange] = []
 
-    def _fresh_pair(self):
+    def _fresh_pair(self) -> tuple[TcpSource, TcpSource]:
         """A new connection pair for one non-persistent exchange."""
         req_id = self._next_flow_id
         resp_id = self._next_flow_id + 1
@@ -201,13 +201,13 @@ class HttpSession:
             "reno", self.sim, self.frontend, self.server.node_id,
             flow_id=req_id, config=self._request_config,
         )
-        TcpSink(self.sim, self.server, req_id)
+        TcpSink(self.sim, self.server, flow_id=req_id)
         response_source = create_source(
             self.protocol, self.sim, self.server, self.frontend.node_id,
             flow_id=resp_id, config=self._config,
             **self._response_kwargs,
         )
-        TcpSink(self.sim, self.frontend, resp_id)
+        TcpSink(self.sim, self.frontend, flow_id=resp_id)
         return request_source, response_source
 
     def request(

@@ -23,6 +23,7 @@ from typing import Sequence
 import math
 
 import numpy as np
+from numpy.typing import ArrayLike
 
 __all__ = [
     "GAP_CDF_ANCHORS",
@@ -82,14 +83,14 @@ class PiecewiseLogCdf:
         u = rng.random(n)
         return self.quantile(u)
 
-    def quantile(self, u) -> np.ndarray:
+    def quantile(self, u: ArrayLike) -> np.ndarray:
         """The inverse CDF at probabilities ``u`` (array-like in [0,1])."""
         u = np.asarray(u, dtype=float)
         if np.any((u < 0) | (u > 1)):
             raise ValueError("probabilities must lie in [0, 1]")
         return np.exp(np.interp(u, self._probs, self._log_values))
 
-    def cdf(self, values) -> np.ndarray:
+    def cdf(self, values: ArrayLike) -> np.ndarray:
         """The CDF at ``values`` (piecewise log-linear)."""
         values = np.asarray(values, dtype=float)
         if np.any(values <= 0):

@@ -1,0 +1,152 @@
+"""Checked-in finding baseline with enforced justifications.
+
+A baseline lets a known, deliberate violation ride in the tree without
+an inline suppression comment — but never silently: every entry must
+carry a non-empty ``justification`` string, and the CLI refuses to run
+against a baseline containing unjustified entries (exit code 2, the
+configuration-error contract).  Entries match findings on
+``(path, rule_id, message)`` — line numbers drift with unrelated edits
+and deliberately do not participate.
+
+Stale entries (no current finding matches) are reported so baselines
+shrink as debt is paid instead of fossilizing.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable
+
+from repro.lint.core import Finding
+
+__all__ = ["BASELINE_SCHEMA", "Baseline", "BaselineEntry", "BaselineError"]
+
+BASELINE_SCHEMA = "simlint-baseline/1"
+
+
+class BaselineError(ValueError):
+    """The baseline file is malformed or carries unjustified entries."""
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    """One accepted finding: its identity plus why it is accepted."""
+
+    path: str
+    rule_id: str
+    message: str
+    justification: str
+
+    @property
+    def key(self) -> tuple[str, str, str]:
+        return (self.path, self.rule_id, self.message)
+
+    def to_dict(self) -> dict[str, str]:
+        return {
+            "path": self.path,
+            "rule_id": self.rule_id,
+            "message": self.message,
+            "justification": self.justification,
+        }
+
+
+@dataclass
+class Baseline:
+    """A set of baselined findings, keyed by (path, rule_id, message)."""
+
+    entries: list[BaselineEntry] = field(default_factory=list)
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Baseline":
+        """Parse and validate a baseline file.
+
+        Raises :class:`BaselineError` on schema mismatch, duplicate
+        entries, or any entry whose justification is empty/whitespace —
+        an unjustified baseline entry is a policy violation, not data.
+        """
+        try:
+            raw = json.loads(Path(path).read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as exc:
+            raise BaselineError(f"cannot read baseline {path}: {exc}") from exc
+        if raw.get("schema") != BASELINE_SCHEMA:
+            raise BaselineError(
+                f"baseline schema {raw.get('schema')!r} != {BASELINE_SCHEMA!r}"
+            )
+        entries: list[BaselineEntry] = []
+        seen: set[tuple[str, str, str]] = set()
+        for index, item in enumerate(raw.get("entries", ())):
+            if not isinstance(item, dict):
+                raise BaselineError(f"baseline entry {index} is not an object")
+            entry = BaselineEntry(
+                path=str(item.get("path", "")),
+                rule_id=str(item.get("rule_id", "")),
+                message=str(item.get("message", "")),
+                justification=str(item.get("justification", "")),
+            )
+            if not (entry.path and entry.rule_id and entry.message):
+                raise BaselineError(
+                    f"baseline entry {index} is missing path/rule_id/message"
+                )
+            justification = entry.justification.strip()
+            if not justification or justification.upper().startswith("TODO"):
+                raise BaselineError(
+                    f"baseline entry {index} ({entry.rule_id} at {entry.path}) "
+                    "has no justification; every accepted finding must say why"
+                )
+            if entry.key in seen:
+                raise BaselineError(
+                    f"duplicate baseline entry for {entry.rule_id} at "
+                    f"{entry.path}"
+                )
+            seen.add(entry.key)
+            entries.append(entry)
+        return cls(entries)
+
+    @classmethod
+    def from_findings(
+        cls, findings: Iterable[Finding], justification: str
+    ) -> "Baseline":
+        """A baseline accepting ``findings`` (``--write-baseline``).
+
+        The caller-supplied justification seeds every entry; authors are
+        expected to replace it per entry before committing.
+        """
+        entries: list[BaselineEntry] = []
+        seen: set[tuple[str, str, str]] = set()
+        for finding in sorted(findings):
+            entry = BaselineEntry(
+                finding.path, finding.rule_id, finding.message, justification
+            )
+            if entry.key not in seen:
+                seen.add(entry.key)
+                entries.append(entry)
+        return cls(entries)
+
+    def dump(self, path: str | Path) -> None:
+        payload = {
+            "schema": BASELINE_SCHEMA,
+            "entries": [entry.to_dict() for entry in self.entries],
+        }
+        Path(path).write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+
+    def apply(
+        self, findings: Iterable[Finding]
+    ) -> tuple[list[Finding], list[BaselineEntry]]:
+        """``(fresh, stale)``: findings not covered by the baseline, and
+        entries no current finding matches (debt that has been paid)."""
+        table = {entry.key: entry for entry in self.entries}
+        fresh: list[Finding] = []
+        matched: set[tuple[str, str, str]] = set()
+        for finding in findings:
+            key = (finding.path, finding.rule_id, finding.message)
+            if key in table:
+                matched.add(key)
+            else:
+                fresh.append(finding)
+        stale = [e for e in self.entries if e.key not in matched]
+        return fresh, stale

@@ -1,0 +1,191 @@
+"""Incremental lint state: content hashes, replayed findings, journal.
+
+The cache records, per project module, the sha256 of its source, the
+project modules it imports, and the findings its last analysis
+produced.  On the next run a module is **dirty** when its hash changed,
+when it is new, or when it lies in the reverse-import closure of a
+dirty/removed module (a change to ``sim.randomness`` can alter the
+taint summaries every importer's findings rest on).  Dirty modules are
+re-analyzed; everything else replays its recorded findings verbatim.
+
+Soundness rests on the engine's contract (see
+:func:`repro.lint.core.lint_module_in_project`): a module's findings
+depend only on its own source plus whole-program summaries derived
+from the modules it transitively imports.  The cache also fingerprints
+the linter itself — editing any file under ``repro/lint`` or changing
+``--select`` invalidates every entry, so stale rule logic can never
+replay.
+
+Every run returns a :class:`CacheJournal` naming which modules were
+analyzed and which were reused; the test suite asserts on it to prove
+the one-module-change → closure-only re-lint property.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Optional, Sequence
+
+from repro.lint.core import (
+    Finding,
+    iter_python_files,
+    lint_module_in_project,
+)
+from repro.lint.project import ProjectContext
+
+__all__ = [
+    "CACHE_SCHEMA",
+    "CacheJournal",
+    "lint_paths_cached",
+    "linter_fingerprint",
+]
+
+#: Bump when the entry layout changes; mismatched caches are discarded.
+CACHE_SCHEMA = "simlint-cache/1"
+
+
+@dataclass
+class CacheJournal:
+    """What one cached run did — the incremental-lint audit trail."""
+
+    #: modules re-analyzed this run (dirty set, sorted).
+    analyzed: list[str] = field(default_factory=list)
+    #: modules whose findings replayed from cache (sorted).
+    reused: list[str] = field(default_factory=list)
+    #: cached modules that no longer exist on disk (sorted).
+    removed: list[str] = field(default_factory=list)
+    #: why the whole cache was discarded, if it was ("" otherwise).
+    invalidated: str = ""
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "analyzed": self.analyzed,
+            "reused": self.reused,
+            "removed": self.removed,
+            "invalidated": self.invalidated,
+        }
+
+
+def _sha256(text: str) -> str:
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def linter_fingerprint() -> str:
+    """sha256 over the linter's own sources.
+
+    Editing a rule, the engine, or this cache module must invalidate
+    every cached finding; hashing the package sources is the cheapest
+    sound way to detect that.
+    """
+    package_dir = Path(__file__).resolve().parent
+    digest = hashlib.sha256()
+    for path in sorted(package_dir.glob("*.py")):
+        digest.update(path.name.encode("utf-8"))
+        digest.update(path.read_bytes())
+    return digest.hexdigest()
+
+
+def _load_cache(cache_file: Path, fingerprint: str, select_key: str) -> tuple[
+    dict[str, dict[str, object]], str
+]:
+    """Cached entries, or ``({}, reason)`` when unusable."""
+    try:
+        raw = json.loads(cache_file.read_text(encoding="utf-8"))
+    except FileNotFoundError:
+        return {}, "no cache file"
+    except (OSError, json.JSONDecodeError):
+        return {}, "unreadable cache file"
+    if raw.get("schema") != CACHE_SCHEMA:
+        return {}, f"cache schema {raw.get('schema')!r} != {CACHE_SCHEMA!r}"
+    if raw.get("linter") != fingerprint:
+        return {}, "linter sources changed"
+    if raw.get("select") != select_key:
+        return {}, "rule selection changed"
+    entries = raw.get("modules")
+    if not isinstance(entries, dict):
+        return {}, "malformed cache"
+    return entries, ""
+
+
+def lint_paths_cached(
+    paths: Iterable[str],
+    cache_file: str | Path,
+    select: Sequence[str] | None = None,
+    only_modules: Optional[set[str]] = None,
+) -> tuple[list[Finding], CacheJournal]:
+    """Lint ``paths`` as one program, replaying unchanged modules.
+
+    Returns the full finding list (cached + fresh) and the journal of
+    what was re-analyzed.  When ``only_modules`` is given (the
+    ``--changed-since`` path), reported findings are restricted to that
+    set's reverse-import closure, but the cache is still refreshed for
+    every analyzed module.
+    """
+    cache_path = Path(cache_file)
+    fingerprint = linter_fingerprint()
+    select_key = ",".join(sorted(select)) if select else ""
+
+    project = ProjectContext.from_files(iter_python_files(paths))
+    entries, invalidated = _load_cache(cache_path, fingerprint, select_key)
+
+    hashes = {
+        name: _sha256(info.context.source)
+        for name, info in project.modules.items()
+    }
+    changed = {
+        name
+        for name, digest in hashes.items()
+        if entries.get(name, {}).get("sha") != digest
+    }
+    removed = sorted(set(entries) - set(project.modules))
+    # A module that imported a now-removed module must re-lint too: its
+    # cross-module resolution results may differ without the dep.
+    orphaned = {
+        name
+        for name, info in project.modules.items()
+        if set(entries.get(name, {}).get("imports", ())) & set(removed)
+    }
+    dirty = project.reverse_closure(changed | orphaned)
+
+    journal = CacheJournal(
+        analyzed=sorted(dirty),
+        reused=sorted(set(project.modules) - dirty),
+        removed=removed,
+        invalidated=invalidated,
+    )
+
+    findings: list[Finding] = []
+    new_entries: dict[str, dict[str, object]] = {}
+    for name, info in sorted(project.modules.items()):
+        if name in dirty:
+            module_findings = lint_module_in_project(
+                project, info.context, select
+            )
+        else:
+            module_findings = [
+                Finding.from_dict(item)  # type: ignore[arg-type]
+                for item in entries[name].get("findings", ())  # type: ignore[union-attr]
+            ]
+        new_entries[name] = {
+            "sha": hashes[name],
+            "imports": sorted(info.imports),
+            "findings": [f.to_dict() for f in module_findings],
+        }
+        if only_modules is None or name in only_modules:
+            findings.extend(module_findings)
+
+    payload = {
+        "schema": CACHE_SCHEMA,
+        "linter": fingerprint,
+        "select": select_key,
+        "modules": new_entries,
+    }
+    cache_path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = cache_path.with_suffix(cache_path.suffix + ".tmp")
+    tmp.write_text(json.dumps(payload, indent=1, sort_keys=True), encoding="utf-8")
+    tmp.replace(cache_path)
+
+    return sorted(findings), journal

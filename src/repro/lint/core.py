@@ -7,24 +7,41 @@ every finding, and a :meth:`Rule.check` generator that yields
 themselves with the :func:`register_rule` decorator; the CLI and the
 test suite discover them through :func:`all_rules`.
 
+Per-file rules subclass :class:`Rule`; rules that need to see the whole
+program (import graph, cross-module taint) subclass
+:class:`ProjectRule` and receive a
+:class:`~repro.lint.project.ProjectContext` alongside the module under
+analysis.  Either way a rule reports findings *per module*, which is
+what makes incremental re-linting (see :mod:`repro.lint.cache`) sound:
+a module's findings depend only on the module itself plus the project
+summaries of the modules it imports.
+
 Suppression is per line: a trailing ``# simlint: disable=SIM003``
 comment silences the named rule(s) on that physical line (comma-
-separate several ids, or use ``disable=all``).  Suppressions are meant
-to be rare and always paired with a justification comment.
+separate several ids, or use ``disable=all``).  Suppressions must be
+justified — extra comment text on the directive line or a comment line
+directly above — or SIM016 flags the directive itself.
 """
 
 from __future__ import annotations
 
 import ast
+import io
 import re
+import tokenize
 from dataclasses import dataclass, field
 from pathlib import Path, PurePosixPath
-from typing import Iterable, Iterator, Sequence
+from typing import TYPE_CHECKING, Iterable, Iterator, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.lint.project import ProjectContext
 
 __all__ = [
     "Finding",
     "ModuleContext",
+    "ProjectRule",
     "Rule",
+    "SuppressionDirective",
     "all_rules",
     "dotted_name",
     "lint_paths",
@@ -52,16 +69,54 @@ class Finding:
             text += f"\n    fix: {self.fixit}"
         return text
 
+    def to_dict(self) -> dict[str, object]:
+        """JSON-ready mapping (the cache and ``--format json`` schema)."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule_id": self.rule_id,
+            "message": self.message,
+            "fixit": self.fixit,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, object]) -> "Finding":
+        return cls(
+            path=str(data["path"]),
+            line=int(data["line"]),  # type: ignore[arg-type]
+            col=int(data["col"]),  # type: ignore[arg-type]
+            rule_id=str(data["rule_id"]),
+            message=str(data["message"]),
+            fixit=str(data.get("fixit", "")),
+        )
+
+
+@dataclass(frozen=True)
+class SuppressionDirective:
+    """One ``# simlint: disable=...`` comment found in a module."""
+
+    line: int
+    ids: frozenset[str]
+    #: True when the directive carries a justification: extra comment
+    #: text on its own line, or a comment line directly above it.
+    justified: bool
+
 
 class ModuleContext:
     """A parsed module plus everything rules need to inspect it."""
 
-    def __init__(self, path: str, source: str) -> None:
+    def __init__(self, path: str, source: str, module_name: str = "") -> None:
         #: posix-normalized path; rules match roles on it ("/tcp/"...)
         self.path = PurePosixPath(path).as_posix()
+        #: dotted module name when known ("repro.tcp.base"); the
+        #: project builder fills it in, standalone lint leaves it "".
+        self.module_name = module_name
         self.source = source
         self.tree = ast.parse(source, filename=path)
         self.lines = source.splitlines()
+        #: real (tokenizer-verified) suppression directives, in line order.
+        self.directives: list[SuppressionDirective] = []
         self._suppressed = self._parse_suppressions()
         #: local name -> fully dotted module/object it was imported as,
         #: e.g. ``np`` -> ``numpy``, ``datetime`` -> ``datetime.datetime``
@@ -69,10 +124,30 @@ class ModuleContext:
         self.import_aliases = self._collect_import_aliases()
 
     # ------------------------------------------------------------------
+    def _comment_tokens(self) -> list[tuple[int, int, str]]:
+        """(line, col, text) for every comment token in the module.
+
+        Tokenizing (rather than regex over raw lines) keeps directives
+        inside string literals and docstrings from acting as — or being
+        policed as — real suppressions.
+        """
+        comments: list[tuple[int, int, str]] = []
+        try:
+            for tok in tokenize.generate_tokens(io.StringIO(self.source).readline):
+                if tok.type == tokenize.COMMENT:
+                    comments.append((tok.start[0], tok.start[1], tok.string))
+        except tokenize.TokenError:  # pragma: no cover - unfinishable input
+            pass
+        return comments
+
     def _parse_suppressions(self) -> dict[int, frozenset[str]]:
+        comment_lines: dict[int, tuple[int, str]] = {}
+        for lineno, col, text in self._comment_tokens():
+            comment_lines[lineno] = (col, text)
+
         table: dict[int, frozenset[str]] = {}
-        for lineno, line in enumerate(self.lines, start=1):
-            match = _SUPPRESS_RE.search(line)
+        for lineno, (col, text) in sorted(comment_lines.items()):
+            match = _SUPPRESS_RE.search(text)
             if not match:
                 continue
             ids = frozenset(
@@ -80,27 +155,48 @@ class ModuleContext:
                 for part in match.group(1).split(",")
                 if part.strip()
             )
+            own_line = self.lines[lineno - 1].lstrip().startswith("#")
+            # Justification: comment text beyond the directive itself on
+            # the directive's line, or a (non-directive) comment line
+            # directly above.
+            extra = (text[: match.start()] + text[match.end():]).strip("# \t")
+            above = comment_lines.get(lineno - 1)
+            justified = bool(extra) or (
+                above is not None and not _SUPPRESS_RE.search(above[1])
+            )
+            self.directives.append(SuppressionDirective(lineno, ids, justified))
             table[lineno] = table.get(lineno, frozenset()) | ids
             # A comment-only suppression line covers the statement that
             # starts on the next line (the justified-comment idiom).
-            if line.lstrip().startswith("#"):
+            if own_line:
                 table[lineno + 1] = table.get(lineno + 1, frozenset()) | ids
         return table
 
     def _collect_import_aliases(self) -> dict[str, str]:
         aliases: dict[str, str] = {}
+        package = self.module_name.rpartition(".")[0] if self.module_name else ""
         for node in ast.walk(self.tree):
             if isinstance(node, ast.Import):
                 for name in node.names:
                     local = name.asname or name.name.split(".")[0]
                     target = name.name if name.asname else name.name.split(".")[0]
                     aliases[local] = target
-            elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+            elif isinstance(node, ast.ImportFrom):
+                base = node.module or ""
+                if node.level > 0:
+                    # Resolve `from .sibling import x` against our package.
+                    parts = self.module_name.split(".") if self.module_name else []
+                    if len(parts) < node.level:
+                        continue
+                    anchor = ".".join(parts[: len(parts) - node.level]) or package
+                    base = f"{anchor}.{node.module}" if node.module else anchor
+                if not base:
+                    continue
                 for name in node.names:
                     if name.name == "*":
                         continue
                     local = name.asname or name.name
-                    aliases[local] = f"{node.module}.{name.name}"
+                    aliases[local] = f"{base}.{name.name}"
         return aliases
 
     # ------------------------------------------------------------------
@@ -118,6 +214,12 @@ class ModuleContext:
         as np``; unresolvable expressions give ``""``.
         """
         chain = dotted_name(node)
+        if not chain:
+            return ""
+        return self.resolve_dotted(chain)
+
+    def resolve_dotted(self, chain: str) -> str:
+        """Import-resolve an already-extracted dotted name string."""
         if not chain:
             return ""
         root, _, rest = chain.partition(".")
@@ -147,7 +249,7 @@ def dotted_name(node: ast.expr) -> str:
 
 
 class Rule:
-    """Base class for simlint rules.  Subclass and :func:`register_rule`."""
+    """Base class for per-file simlint rules."""
 
     id: str = ""
     summary: str = ""
@@ -158,6 +260,26 @@ class Rule:
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<Rule {self.id}: {self.summary}>"
+
+
+class ProjectRule(Rule):
+    """A rule that needs whole-program context.
+
+    Subclasses implement :meth:`check_module`; the engine calls it once
+    per module with the shared :class:`ProjectContext`, so findings stay
+    attributable to a single module (the incremental-cache unit).
+    """
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        from repro.lint.project import ProjectContext
+
+        project = ProjectContext.for_single_module(module)
+        return self.check_module(project, module)
+
+    def check_module(
+        self, project: "ProjectContext", module: ModuleContext
+    ) -> Iterator[Finding]:
+        raise NotImplementedError
 
 
 _RULES: dict[str, type[Rule]] = {}
@@ -175,20 +297,53 @@ def register_rule(cls: type[Rule]) -> type[Rule]:
 
 def all_rules() -> list[Rule]:
     """Fresh instances of every registered rule, ordered by id."""
+    _load_rule_modules()
     return [_RULES[rule_id]() for rule_id in sorted(_RULES)]
+
+
+def _load_rule_modules() -> None:
+    """Import the rule modules (idempotent; they register on import)."""
+    from repro.lint import rules, xrules  # noqa: F401  (side effect)
+
+
+def _selected(rule: Rule, select: Sequence[str] | None) -> bool:
+    return select is None or rule.id in select
+
+
+def lint_module_in_project(
+    project: "ProjectContext",
+    module: ModuleContext,
+    select: Sequence[str] | None = None,
+) -> list[Finding]:
+    """Run every rule against one module of a parsed project.
+
+    This is the incremental unit: the cache replays its output for
+    modules whose content *and* whose imported modules are unchanged.
+    """
+    findings: list[Finding] = []
+    for rule in all_rules():
+        if not _selected(rule, select):
+            continue
+        if isinstance(rule, ProjectRule):
+            findings.extend(rule.check_module(project, module))
+        else:
+            findings.extend(rule.check(module))
+    return sorted(findings)
 
 
 def lint_source(
     source: str, path: str = "<string>", select: Sequence[str] | None = None
 ) -> list[Finding]:
-    """Lint one module given as a string; the unit the tests drive."""
+    """Lint one module given as a string; the unit the tests drive.
+
+    Cross-module rules see a single-module project, so their purely
+    local checks still apply (and their fixtures stay one-file).
+    """
+    from repro.lint.project import ProjectContext
+
     module = ModuleContext(path, source)
-    findings: list[Finding] = []
-    for rule in all_rules():
-        if select is not None and rule.id not in select:
-            continue
-        findings.extend(rule.check(module))
-    return sorted(findings)
+    project = ProjectContext.for_single_module(module)
+    return lint_module_in_project(project, module, select)
 
 
 def iter_python_files(paths: Iterable[str]) -> Iterator[Path]:
@@ -205,10 +360,15 @@ def iter_python_files(paths: Iterable[str]) -> Iterator[Path]:
 def lint_paths(
     paths: Iterable[str], select: Sequence[str] | None = None
 ) -> list[Finding]:
-    """Lint every ``.py`` file under ``paths`` (files or directories)."""
+    """Lint every ``.py`` file under ``paths`` as one program.
+
+    All files are parsed into a single :class:`ProjectContext` first, so
+    cross-module rules can follow imports between them.
+    """
+    from repro.lint.project import ProjectContext
+
+    project = ProjectContext.from_files(iter_python_files(paths))
     findings: list[Finding] = []
-    for file in iter_python_files(paths):
-        findings.extend(
-            lint_source(file.read_text(encoding="utf-8"), str(file), select)
-        )
+    for info in project.modules_in_path_order():
+        findings.extend(lint_module_in_project(project, info.context, select))
     return sorted(findings)

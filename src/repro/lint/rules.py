@@ -28,6 +28,7 @@ __all__ = [
     "MutableDefaultRule",
     "RawExecutorRule",
     "TimeEqualityRule",
+    "UnjustifiedSuppressionRule",
     "UnseededRandomnessRule",
     "WallClockRule",
 ]
@@ -511,6 +512,43 @@ class RawExecutorRule(Rule):
                     "direct ProcessPoolExecutor construction outside "
                     "runner/backends/ bypasses the sweep-backend seam",
                 )
+
+
+@register_rule
+class UnjustifiedSuppressionRule(Rule):
+    """Every ``# simlint: disable=`` directive must carry a reason.
+
+    A suppression is a standing exception to an invariant the figures
+    rest on; the justification (extra comment text on the directive's
+    line, or a comment line directly above it) is what lets a reviewer
+    audit that exception without re-deriving it.  Directives inside
+    string literals and docstrings are ignored (they are prose, not
+    suppressions).
+    """
+
+    id = "SIM016"
+    summary = "simlint suppression without a justification comment"
+    fixit = (
+        "say why on the directive line ('# exact tie-break; see "
+        "Event.__lt__  # simlint: disable=SIM003') or in a comment "
+        "directly above it"
+    )
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        for directive in module.directives:
+            if directive.justified:
+                continue
+            ids = ",".join(sorted(directive.ids))
+            # Deliberately bypasses module.finding(): an unjustified
+            # 'disable=all' must not suppress the rule that polices it.
+            yield Finding(
+                module.path,
+                directive.line,
+                0,
+                self.id,
+                f"suppression of {ids} has no justification comment",
+                self.fixit,
+            )
 
 
 @register_rule

@@ -1,0 +1,105 @@
+"""SARIF 2.1.0 emission for simlint findings.
+
+One run object, tool driver ``simlint``, one ``result`` per finding
+with a ``physicalLocation`` region, and per-rule metadata
+(``shortDescription`` = the rule summary, ``help`` = the fixit hint) so
+GitHub code scanning renders the same guidance the text output prints.
+Paths are emitted repo-relative with forward slashes, as the SARIF spec
+expects of ``artifactLocation.uri``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import PurePosixPath
+from typing import Iterable, Sequence
+
+from repro.lint.core import Finding, Rule, all_rules
+
+__all__ = ["SARIF_VERSION", "to_sarif", "render_sarif"]
+
+SARIF_VERSION = "2.1.0"
+_SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+
+def _rule_descriptor(rule: Rule) -> dict[str, object]:
+    descriptor: dict[str, object] = {
+        "id": rule.id,
+        "name": type(rule).__name__,
+        "shortDescription": {"text": rule.summary},
+        "defaultConfiguration": {"level": "error"},
+    }
+    if rule.fixit:
+        descriptor["help"] = {"text": rule.fixit}
+    return descriptor
+
+
+def _relative_uri(path: str) -> str:
+    pure = PurePosixPath(path)
+    if pure.is_absolute():
+        # Anchor at the repo-conventional `src/` root when present so
+        # URIs stay stable across checkouts.
+        parts = pure.parts
+        if "src" in parts:
+            pure = PurePosixPath(*parts[parts.index("src"):])
+        else:
+            pure = PurePosixPath(pure.name)
+    return pure.as_posix()
+
+
+def to_sarif(
+    findings: Iterable[Finding], rules: Sequence[Rule] | None = None
+) -> dict[str, object]:
+    """A SARIF 2.1.0 log dict for ``findings``."""
+    rule_list = list(rules) if rules is not None else all_rules()
+    results = [
+        {
+            "ruleId": finding.rule_id,
+            "level": "error",
+            "message": {"text": finding.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": _relative_uri(finding.path),
+                            "uriBaseId": "%SRCROOT%",
+                        },
+                        "region": {
+                            "startLine": finding.line,
+                            # SARIF columns are 1-based; ast's are 0-based.
+                            "startColumn": finding.col + 1,
+                        },
+                    }
+                }
+            ],
+        }
+        for finding in sorted(findings)
+    ]
+    return {
+        "$schema": _SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "simlint",
+                        "informationUri": (
+                            "https://example.invalid/repro/simlint"
+                        ),
+                        "rules": [_rule_descriptor(r) for r in rule_list],
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+
+
+def render_sarif(
+    findings: Iterable[Finding], rules: Sequence[Rule] | None = None
+) -> str:
+    """``to_sarif`` serialized with stable key order."""
+    return json.dumps(to_sarif(findings, rules), indent=2, sort_keys=True)

@@ -30,6 +30,12 @@ through:
     *disabled* path is covered by gating ``kernel_churn`` — every other
     benchmark runs with telemetry off, so any overhead leak shows up
     there.)
+``lint_cold`` / ``lint_incremental``
+    The static-analysis toolchain itself: whole-program simlint over a
+    synthetic import-chained tree, cold versus a warm incremental cache
+    with a single-module edit.  ``events`` counts modules covered, so
+    the pair reads directly as modules-per-second and their ratio is
+    the speedup the content-hash cache buys an editor loop.
 ``sweep_fanout`` / ``sweep_fanout_shm``
     The sweep dispatch path itself rather than a simulation: a
     synthetic experiment whose points return multi-megabyte payloads,
@@ -44,7 +50,7 @@ from __future__ import annotations
 
 import zlib
 from dataclasses import dataclass
-from typing import Callable, Optional
+from typing import Any, Callable, Optional, Sequence
 
 from repro.experiments.base import Experiment, Point
 from repro.net.topology import build_star
@@ -276,7 +282,7 @@ class _SweepPayloadExperiment(Experiment):
         fill = (seed ^ i) % 251
         return i.to_bytes(8, "little") + bytes([fill]) * params.payload_bytes
 
-    def reduce(self, params, points, results):
+    def reduce(self, params: Any, points: Sequence[Point], results: Sequence[Any]) -> Any:
         return list(results)
 
 
@@ -317,6 +323,131 @@ def bench_sweep_fanout(scale: int) -> BenchRun:
 def bench_sweep_fanout_shm(scale: int) -> BenchRun:
     """The identical sweep on ``shm`` (shared-memory result transport)."""
     return _run_fanout(scale, "shm")
+
+
+# ---------------------------------------------------------------------------
+# simlint whole-program analysis benchmarks
+# ---------------------------------------------------------------------------
+
+
+def _lint_module_source(i: int) -> str:
+    """Deterministic source for synthetic module ``i`` of the lint tree.
+
+    An import chain (module *i* imports module *i-1*) gives the
+    cross-module rules real resolution work, unit-suffixed arithmetic
+    exercises SIM014's hot path, and every fourth module carries one
+    mutable-default finding so the finding pipeline is measured too.
+    """
+    lines = [
+        '"""Synthetic lint workload module."""',
+        "",
+        "from __future__ import annotations",
+        "",
+    ]
+    if i > 0:
+        lines.append(f"from linttree.mod{i - 1:03d} import helper{i - 1:03d}")
+        lines.append("")
+    lines += [
+        f"def helper{i:03d}(delay_s: float, size_bytes: int) -> float:",
+        "    total_s = delay_s + delay_s",
+        "    return total_s * size_bytes",
+        "",
+    ]
+    if i > 0:
+        lines += [
+            f"def chain{i:03d}(x: float) -> float:",
+            f"    return helper{i - 1:03d}(x, 8) + {i}.0",
+            "",
+        ]
+    if i % 4 == 1:
+        lines += [
+            f"def sweep{i:03d}(acc=[]):",
+            "    return acc",
+            "",
+        ]
+    return "\n".join(lines)
+
+
+def _lint_findings_checksum(findings: Sequence[Any], extra: int) -> int:
+    blob = "\n".join(f.render() for f in sorted(findings)).encode("utf-8")
+    return zlib.crc32(blob) * 31 + extra
+
+
+def bench_lint_cold(scale: int) -> BenchRun:
+    """Whole-program simlint over ``scale`` synthetic modules, no cache.
+
+    Measures the full pipeline — parsing, import-graph construction,
+    taint-summary fixpoints, and every per-file and cross-module rule —
+    exactly as an uncached CI lint run pays it.  ``events`` counts
+    modules analyzed so the cold/incremental pair compares directly as
+    modules-per-second.
+    """
+    from repro.lint.core import lint_module_in_project
+    from repro.lint.project import ProjectContext
+
+    sources = {
+        f"linttree.mod{i:03d}": _lint_module_source(i) for i in range(scale)
+    }
+    project = ProjectContext.from_sources(sources)
+    findings = []
+    for info in project.modules_in_path_order():
+        findings.extend(lint_module_in_project(project, info.context))
+    if not findings:  # pragma: no cover - sizing bug guard
+        raise RuntimeError("lint_cold fixture produced no findings")
+    checksum = _lint_findings_checksum(findings, len(project.modules))
+    return BenchRun(len(project.modules), 0.0, checksum)
+
+
+#: scale -> (package dir, cache file, flip bit) for the incremental
+#: benchmark; the tree and warm cache persist across repeats on purpose
+#: (the cold pass is exactly what bench_lint_cold measures).
+_LINT_TREES: dict[int, dict[str, Any]] = {}
+
+
+def bench_lint_incremental(scale: int) -> BenchRun:
+    """One-module edit re-linted through the incremental cache.
+
+    First call per scale materializes the synthetic tree on disk and
+    warms the cache (untimed in practice: the harness's warm-up repeat
+    absorbs it).  Every timed repeat then rewrites the leaf module —
+    whose reverse-import closure is itself alone — and re-lints, so the
+    measurement is hash checking plus a single module's analysis plus
+    finding replay for the rest: the editor-loop cost the cache exists
+    to minimize.
+    """
+    import tempfile
+    from pathlib import Path
+
+    from repro.lint.cache import lint_paths_cached
+
+    state = _LINT_TREES.get(scale)
+    if state is None:
+        root = Path(tempfile.mkdtemp(prefix="repro-lint-bench-"))
+        pkg = root / "linttree"
+        pkg.mkdir()
+        (pkg / "__init__.py").write_text("", encoding="utf-8")
+        for i in range(scale):
+            (pkg / f"mod{i:03d}.py").write_text(
+                _lint_module_source(i), encoding="utf-8"
+            )
+        cache = root / "lint-cache.json"
+        lint_paths_cached([str(pkg)], cache)  # cold pass warms the cache
+        state = {"pkg": pkg, "cache": cache, "flip": 0}
+        _LINT_TREES[scale] = state
+    state["flip"] ^= 1
+    leaf = state["pkg"] / f"mod{scale - 1:03d}.py"
+    suffix = "# edited\n" if state["flip"] else "# reverted\n"
+    leaf.write_text(
+        _lint_module_source(scale - 1) + suffix, encoding="utf-8"
+    )
+    findings, journal = lint_paths_cached([str(state["pkg"])], state["cache"])
+    if len(journal.analyzed) != 1:  # pragma: no cover - sizing bug guard
+        raise RuntimeError(
+            f"lint_incremental expected 1 dirty module, got {journal.analyzed}"
+        )
+    covered = len(journal.analyzed) + len(journal.reused)
+    checksum = _lint_findings_checksum(findings, covered)
+    return BenchRun(covered, 0.0, checksum)
 
 
 @dataclass
@@ -371,6 +502,20 @@ BENCHMARKS: tuple[BenchmarkSpec, ...] = (
         bench_telemetry_trace,
         quick_scale=8,
         full_scale=40,
+    ),
+    BenchmarkSpec(
+        "lint_cold",
+        "whole-program simlint over a synthetic tree, no cache",
+        bench_lint_cold,
+        quick_scale=24,
+        full_scale=96,
+    ),
+    BenchmarkSpec(
+        "lint_incremental",
+        "one-module edit re-linted through the incremental cache",
+        bench_lint_incremental,
+        quick_scale=24,
+        full_scale=96,
     ),
     BenchmarkSpec(
         "sweep_fanout",

@@ -55,7 +55,7 @@ import concurrent.futures
 import time
 import warnings
 from dataclasses import dataclass, field
-from typing import Any, Callable, Optional, Sequence
+from typing import TYPE_CHECKING, Any, Callable, Optional, Sequence
 
 from repro.runner.backends import (
     LegacyExecutorBackend,
@@ -69,6 +69,9 @@ from repro.runner.cache import CostModel, ResultCache
 from repro.runner.checkpoint import SweepCheckpoint, digest_params
 from repro.runner.progress import ProgressReporter
 from repro.sim.randomness import derive_seed
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.experiments.base import Experiment, Point
 
 __all__ = [
     "PointFailure",
@@ -136,8 +139,16 @@ class _Entry:
         "seed", "cache_key", "params_digest",
     )
 
-    def __init__(self, task_index, point_index, experiment, params, point, seed,
-                 params_digest=""):
+    def __init__(
+        self,
+        task_index: int,
+        point_index: int,
+        experiment: Experiment,
+        params: Any,
+        point: Point,
+        seed: int,
+        params_digest: str = "",
+    ) -> None:
         self.task_index = task_index
         self.point_index = point_index
         self.experiment = experiment
@@ -150,12 +161,12 @@ class _Entry:
         self.params_digest = params_digest
 
     @property
-    def journal_key(self):
+    def journal_key(self) -> tuple[str, str, int, str]:
         return (self.experiment.id, self.point.label, self.seed,
                 self.params_digest)
 
     @property
-    def cost_key(self):
+    def cost_key(self) -> str:
         return CostModel.key(
             self.experiment.id, self.point.label, self.params_digest
         )
@@ -455,7 +466,14 @@ class SweepRunner:
                 params_digest=entry.params_digest,
             )
 
-    def _record(self, entry: _Entry, seconds, value, results, stats) -> None:
+    def _record(
+        self,
+        entry: _Entry,
+        seconds: Optional[float],
+        value: Any,
+        results: list[list[Any]],
+        stats: SweepStats,
+    ) -> None:
         results[entry.task_index][entry.point_index] = value
         stats.executed += 1
         if self.cache is not None:
@@ -466,17 +484,26 @@ class SweepRunner:
         self._journal(entry, value)
         self._point_done(entry)
 
-    def _fail(self, entry: _Entry, error: str, attempts: int, stats) -> None:
+    def _fail(
+        self, entry: _Entry, error: str, attempts: int, stats: SweepStats
+    ) -> None:
         stats.failures.append(
             PointFailure(entry.experiment.id, entry.point.label, error, attempts)
         )
         self._point_done(entry, failed=True)
 
-    def _point_done(self, entry: _Entry, cached=False, failed=False) -> None:
+    def _point_done(
+        self, entry: _Entry, cached: bool = False, failed: bool = False
+    ) -> None:
         if self._reporter is not None:
             self._reporter.point_done(entry.point.label, cached=cached, failed=failed)
 
-    def _dispatch(self, pending, results, stats) -> None:
+    def _dispatch(
+        self,
+        pending: list[_Entry],
+        results: list[list[Any]],
+        stats: SweepStats,
+    ) -> None:
         """Order, then execute every pending entry on the backend."""
         backend = self._resolve_backend(len(pending))
         pending = self._ordered(pending, stats)
@@ -491,7 +518,13 @@ class SweepRunner:
         else:
             self._drain_pool(backend, pending, results, stats)
 
-    def _drain_inline(self, backend, pending, results, stats) -> None:
+    def _drain_inline(
+        self,
+        backend: SweepBackend,
+        pending: list[_Entry],
+        results: list[list[Any]],
+        stats: SweepStats,
+    ) -> None:
         """Lazy submission for inline backends: each point's result is
         recorded (and journalled) before the next point starts."""
         for entry in pending:
@@ -512,7 +545,13 @@ class SweepRunner:
                     )
                     break
 
-    def _drain_pool(self, backend, pending, results, stats) -> None:
+    def _drain_pool(
+        self,
+        backend: SweepBackend,
+        pending: list[_Entry],
+        results: list[list[Any]],
+        stats: SweepStats,
+    ) -> None:
         #: (entry, future) pairs still in flight after their entry was
         #: already decided — stragglers whose eventual successes are
         #: counted as duplicates, never recorded.

@@ -130,5 +130,5 @@ def make_connection(
         config=config,
         **source_kwargs,
     )
-    sink = TcpSink(sim, dst_host, flow_id)
+    sink = TcpSink(sim, dst_host, flow_id=flow_id)
     return source, sink

@@ -23,7 +23,7 @@ class TestFramework:
         rules = all_rules()
         ids = [r.id for r in rules]
         assert ids == sorted(ids)
-        assert ids == [f"SIM{n:03d}" for n in range(1, 11)]
+        assert ids == [f"SIM{n:03d}" for n in range(1, 17)]
         for rule in rules:
             assert rule.summary and rule.fixit
 
@@ -41,7 +41,7 @@ class TestFramework:
 
 class TestSuppression:
     def test_trailing_comment_suppresses(self):
-        src = "import random  # simlint: disable=SIM001\n"
+        src = "import random  # deterministic shim  # simlint: disable=SIM001\n"
         assert lint_source(src) == []
 
     def test_preceding_comment_line_suppresses_next_line(self):
@@ -53,19 +53,19 @@ class TestSuppression:
         assert lint_source(src) == []
 
     def test_disable_all(self):
-        src = "import random  # simlint: disable=all\n"
+        src = "import random  # fixture needs raw stdlib  # simlint: disable=all\n"
         assert lint_source(src) == []
 
     def test_suppression_is_per_line(self):
         src = (
-            "import random  # simlint: disable=SIM001\n"
+            "import random  # shim  # simlint: disable=SIM001\n"
             "import random\n"
         )
         findings = lint_source(src)
         assert [f.line for f in findings] == [2]
 
     def test_wrong_id_does_not_suppress(self):
-        src = "import random  # simlint: disable=SIM002\n"
+        src = "import random  # shim  # simlint: disable=SIM002\n"
         assert rule_ids(lint_source(src)) == ["SIM001"]
 
 
@@ -372,7 +372,7 @@ class TestCli:
     def test_list_rules(self, capsys):
         assert lint_main(["--list-rules"]) == 0
         out = capsys.readouterr().out
-        for n in range(1, 10):
+        for n in range(1, 17):
             assert f"SIM{n:03d}" in out
 
     def test_directory_walk(self, tmp_path):

@@ -1,0 +1,641 @@
+"""simlint v2: cross-module rules, the cache, SARIF, and the baseline.
+
+Each SIM011-SIM015 family gets a positive fixture (the smuggled-RNG /
+wall-clock / unpicklable-payload / unit-mix-up / contract-violation
+snippet the ISSUE names) and an adjacent negative fixture.  The cache
+section proves the incremental contract — a one-module change
+re-analyzes only that module plus its reverse-import closure — by
+asserting on the journal, not just on the findings.
+"""
+
+import json
+import subprocess
+
+import pytest
+
+from repro.lint import lint_source
+from repro.lint.baseline import Baseline, BaselineError
+from repro.lint.cache import lint_paths_cached
+from repro.lint.core import Finding, all_rules, lint_module_in_project
+from repro.lint.project import ProjectContext
+from repro.lint.sarif import render_sarif, to_sarif
+from repro.lint.__main__ import main as lint_main
+
+
+def lint_project(sources, select=None):
+    """Lint an in-memory multi-module project ({dotted_name: source})."""
+    project = ProjectContext.from_sources(sources)
+    findings = []
+    for info in project.modules_in_path_order():
+        findings.extend(lint_module_in_project(project, info.context, select))
+    return sorted(findings)
+
+
+def rule_ids(findings):
+    return sorted({f.rule_id for f in findings})
+
+
+class TestProjectContext:
+    def test_import_graph_resolves_absolute_and_relative(self):
+        project = ProjectContext.from_sources(
+            {
+                "pkg": "",
+                "pkg.base": "VALUE = 1\n",
+                "pkg.mid": "from pkg.base import VALUE\nX = VALUE\n",
+                "pkg.rel": "from .base import VALUE\nY = VALUE\n",
+                "pkg.leaf": "Z = 3\n",
+            }
+        )
+        assert project.modules["pkg.mid"].imports == {"pkg.base"}
+        assert project.modules["pkg.rel"].imports == {"pkg.base"}
+        assert project.modules["pkg.leaf"].imports == set()
+
+    def test_reverse_closure_is_transitive(self):
+        project = ProjectContext.from_sources(
+            {
+                "a": "V = 1\n",
+                "b": "from a import V\nW = V\n",
+                "c": "from b import W\nU = W\n",
+                "d": "S = 0\n",
+            }
+        )
+        assert project.reverse_closure({"a"}) == {"a", "b", "c"}
+        assert project.reverse_closure({"c"}) == {"c"}
+
+    def test_resolve_function_across_modules(self):
+        project = ProjectContext.from_sources(
+            {
+                "helpers": "def fresh():\n    return 1\n",
+                "usersite": "from helpers import fresh\nx = fresh()\n",
+            }
+        )
+        module = project.modules["usersite"].context
+        import ast
+
+        call = next(
+            n for n in ast.walk(module.tree) if isinstance(n, ast.Call)
+        )
+        target = project.resolve_function(module, call)
+        assert target is not None
+        assert target.full_name == "helpers.fresh"
+
+
+class TestSim011RngProvenance:
+    def test_flags_rng_laundered_through_helper_in_another_module(self):
+        findings = lint_project(
+            {
+                "proj.helpers": (
+                    "import random\n"
+                    "def fresh_rng():\n"
+                    "    return random.Random()\n"
+                ),
+                "proj.mainmod": (
+                    "from proj.helpers import fresh_rng\n"
+                    "rng = fresh_rng()\n"
+                ),
+            },
+            select=["SIM011"],
+        )
+        assert rule_ids(findings) == ["SIM011"]
+        assert findings[0].path == "proj/mainmod.py"
+        assert "proj.helpers.fresh_rng" in findings[0].message
+
+    def test_taint_propagates_two_helper_hops(self):
+        findings = lint_project(
+            {
+                "proj.inner": (
+                    "import random\n"
+                    "def mint():\n"
+                    "    return random.Random()\n"
+                ),
+                "proj.outer": (
+                    "from proj.inner import mint\n"
+                    "def wrap():\n"
+                    "    rng = mint()\n"
+                    "    return rng\n"
+                ),
+                "proj.use": "from proj.outer import wrap\nr = wrap()\n",
+            },
+            select=["SIM011"],
+        )
+        paths = sorted({f.path for f in findings})
+        # outer's call to mint() and use's call to wrap() both flag.
+        assert paths == ["proj/outer.py", "proj/use.py"]
+
+    def test_entropy_free_default_rng_flagged_even_in_randomness_home(self):
+        src = "import numpy as np\nrng = np.random.default_rng()\n"
+        findings = lint_source(
+            src, path="repro/sim/randomness.py", select=["SIM011"]
+        )
+        assert rule_ids(findings) == ["SIM011"]
+        assert "entropy-free" in findings[0].message
+
+    def test_helper_forwarding_seeded_rng_is_fine(self):
+        findings = lint_project(
+            {
+                "proj.helpers": (
+                    "from repro.sim.randomness import seeded_rng\n"
+                    "def stream(seed):\n"
+                    "    return seeded_rng(seed, 'flows')\n"
+                ),
+                "proj.mainmod": (
+                    "from proj.helpers import stream\n"
+                    "rng = stream(7)\n"
+                ),
+            },
+            select=["SIM011"],
+        )
+        assert findings == []
+
+
+class TestSim012WallClockTaint:
+    def test_flags_wall_clock_value_scheduled(self):
+        src = (
+            "import time\n"
+            "def arm(sim, cb):\n"
+            "    t = time.time()\n"
+            "    sim.schedule(t + 0.1, cb)\n"
+        )
+        findings = lint_source(src, select=["SIM012"])
+        assert rule_ids(findings) == ["SIM012"]
+        assert "wall-clock" in findings[0].message
+
+    def test_flags_perf_counter_through_cross_module_helper(self):
+        findings = lint_project(
+            {
+                "proj.clock": (
+                    "import time\n"
+                    "def stamp():\n"
+                    "    return time.perf_counter()\n"
+                ),
+                "proj.driver": (
+                    "from proj.clock import stamp\n"
+                    "def arm(sim, cb):\n"
+                    "    sim.schedule_at(stamp(), cb)\n"
+                ),
+            },
+            select=["SIM012"],
+        )
+        assert rule_ids(findings) == ["SIM012"]
+        assert findings[0].path == "proj/driver.py"
+        assert "proj.clock.stamp" in findings[0].message
+
+    def test_sim_now_arithmetic_is_fine(self):
+        src = (
+            "def arm(sim, cb, delay_s):\n"
+            "    sim.schedule(sim.now + delay_s, cb)\n"
+        )
+        assert lint_source(src, select=["SIM012"]) == []
+
+    def test_perf_counter_for_display_is_fine(self):
+        src = (
+            "import time\n"
+            "def bench(run):\n"
+            "    t0 = time.perf_counter()\n"
+            "    run()\n"
+            "    return time.perf_counter() - t0\n"
+        )
+        assert lint_source(src, select=["SIM012"]) == []
+
+
+class TestSim013ProcessBoundary:
+    def test_flags_lambda_in_point_kwargs(self):
+        src = (
+            "from repro.experiments.base import Point\n"
+            "p = Point('a', on_done=lambda r: r)\n"
+        )
+        findings = lint_source(src, select=["SIM013"])
+        assert rule_ids(findings) == ["SIM013"]
+        assert "lambda" in findings[0].message
+
+    def test_flags_locally_defined_callback(self):
+        src = (
+            "from repro.runner.backends import PointSpec\n"
+            "def build():\n"
+            "    def cb(result):\n"
+            "        return result\n"
+            "    return PointSpec('exp', {}, hook=cb)\n"
+        )
+        findings = lint_source(src, select=["SIM013"])
+        assert rule_ids(findings) == ["SIM013"]
+        assert "local scope" in findings[0].message
+
+    def test_flags_open_file_handle_in_submit(self):
+        src = (
+            "def run(backend, spec):\n"
+            "    backend.submit(spec, log=open('out.txt'))\n"
+        )
+        findings = lint_source(src, select=["SIM013"])
+        assert rule_ids(findings) == ["SIM013"]
+        assert "file handle" in findings[0].message
+
+    def test_flags_lambda_laundered_through_helper_module(self):
+        findings = lint_project(
+            {
+                "proj.payloads": (
+                    "def make_cb():\n"
+                    "    return lambda x: x\n"
+                ),
+                "proj.sweep": (
+                    "from repro.experiments.base import Point\n"
+                    "from proj.payloads import make_cb\n"
+                    "p = Point('a', fn=make_cb())\n"
+                ),
+            },
+            select=["SIM013"],
+        )
+        assert rule_ids(findings) == ["SIM013"]
+        assert findings[0].path == "proj/sweep.py"
+
+    def test_plain_data_and_module_level_function_are_fine(self):
+        src = (
+            "from repro.experiments.base import Point\n"
+            "def reducer(rows):\n"
+            "    return rows\n"
+            "p = Point('a', n_flows=8, fn=reducer)\n"
+        )
+        assert lint_source(src, select=["SIM013"]) == []
+
+
+class TestSim014UnitDimensions:
+    def test_flags_seconds_plus_bytes(self):
+        src = "def f(delay_s, size_bytes):\n    return delay_s + size_bytes\n"
+        findings = lint_source(src, select=["SIM014"])
+        assert rule_ids(findings) == ["SIM014"]
+        assert "'s'" in findings[0].message
+        assert "'bytes'" in findings[0].message
+
+    def test_flags_cross_unit_comparison_and_keyword(self):
+        src = "def f(window_pkts, budget_bytes):\n    return window_pkts < budget_bytes\n"
+        assert rule_ids(lint_source(src, select=["SIM014"])) == ["SIM014"]
+        src = "def f(g, size_bytes):\n    return g(timeout_s=size_bytes)\n"
+        assert rule_ids(lint_source(src, select=["SIM014"])) == ["SIM014"]
+
+    def test_same_unit_and_unsuffixed_operands_are_fine(self):
+        src = (
+            "def f(delay_s, rtt_s, n):\n"
+            "    total_s = delay_s + rtt_s\n"
+            "    return total_s + n\n"
+        )
+        assert lint_source(src, select=["SIM014"]) == []
+
+    def test_millis_vs_seconds_flagged(self):
+        src = "def f(rto_ms, rtt_s):\n    return rto_ms - rtt_s\n"
+        assert rule_ids(lint_source(src, select=["SIM014"])) == ["SIM014"]
+
+
+EXPERIMENT_PREAMBLE = (
+    "from repro.experiments.base import Experiment\n"
+    "from repro.experiments.registry import register\n"
+)
+
+
+class TestSim015ExperimentConformance:
+    def test_flags_missing_declarations_and_print(self):
+        src = EXPERIMENT_PREAMBLE + (
+            "@register\n"
+            "class Bad(Experiment):\n"
+            "    def points(self, params):\n"
+            "        return []\n"
+            "    def run_point(self, params, point, seed):\n"
+            "        print('progress')\n"
+            "        return None\n"
+            "    def reduce(self, params, points, results):\n"
+            "        return list(results)\n"
+        )
+        findings = lint_source(src, select=["SIM015"])
+        assert rule_ids(findings) == ["SIM015"]
+        messages = "\n".join(f.message for f in findings)
+        assert "does not declare id, title, params_cls" in messages
+        assert "prints directly" in messages
+
+    def test_flags_file_write_in_run_point(self):
+        src = EXPERIMENT_PREAMBLE + (
+            "@register\n"
+            "class Leaky(Experiment):\n"
+            "    id = 'leaky'\n"
+            "    title = 'Leaky'\n"
+            "    params_cls = None\n"
+            "    def points(self, params):\n"
+            "        return []\n"
+            "    def run_point(self, params, point, seed):\n"
+            "        with open('out.csv', 'w') as fh:\n"
+            "            fh.write('x')\n"
+            "        return None\n"
+            "    def reduce(self, params, points, results):\n"
+            "        return list(results)\n"
+        )
+        findings = lint_source(src, select=["SIM015"])
+        assert len(findings) == 1
+        assert "writes a file directly" in findings[0].message
+
+    def test_conforming_experiment_is_fine(self):
+        src = EXPERIMENT_PREAMBLE + (
+            "@register\n"
+            "class Fine(Experiment):\n"
+            "    id = 'fine'\n"
+            "    title = 'Fine'\n"
+            "    params_cls = None\n"
+            "    def points(self, params):\n"
+            "        return []\n"
+            "    def run_point(self, params, point, seed):\n"
+            "        return {'ok': True}\n"
+            "    def reduce(self, params, points, results):\n"
+            "        return list(results)\n"
+        )
+        assert lint_source(src, select=["SIM015"]) == []
+
+    def test_unregistered_subclass_is_not_held_to_declarations(self):
+        src = (
+            "from repro.experiments.base import Experiment\n"
+            "class AbstractMixin(Experiment):\n"
+            "    def points(self, params):\n"
+            "        return []\n"
+            "    def run_point(self, params, point, seed):\n"
+            "        return None\n"
+            "    def reduce(self, params, points, results):\n"
+            "        return list(results)\n"
+        )
+        assert lint_source(src, select=["SIM015"]) == []
+
+    def test_flags_positional_flow_id_to_sink_and_connect(self):
+        src = (
+            "from repro.tcp.base import TcpSink\n"
+            "def build(sim, host, fid, connections, a, b):\n"
+            "    sink = TcpSink(sim, host, fid)\n"
+            "    connections.connect(a, b, fid)\n"
+        )
+        findings = lint_source(src, select=["SIM015"])
+        assert len(findings) == 2
+        assert all("keyword-only" in f.message for f in findings)
+
+    def test_keyword_call_sites_and_topology_connect_are_fine(self):
+        src = (
+            "from repro.tcp.base import TcpSink\n"
+            "def build(sim, host, fid, net, a, b, bw, delay, buf):\n"
+            "    sink = TcpSink(sim, host, flow_id=fid)\n"
+            "    net.connect(a, b, bw, delay, buf)\n"
+        )
+        assert lint_source(src, select=["SIM015"]) == []
+
+
+class TestSim016UnjustifiedSuppression:
+    def test_flags_bare_directive(self):
+        src = "import random  # simlint: disable=SIM001\n"
+        findings = lint_source(src, select=["SIM016"])
+        assert rule_ids(findings) == ["SIM016"]
+        assert findings[0].line == 1
+
+    def test_unjustified_disable_all_cannot_self_suppress(self):
+        src = "import random  # simlint: disable=all\n"
+        findings = lint_source(src, select=["SIM016"])
+        assert rule_ids(findings) == ["SIM016"]
+
+    def test_justified_directives_pass(self):
+        src = (
+            "import random  # deterministic shim  # simlint: disable=SIM001\n"
+            "# exact tie-break required; see Event.__lt__\n"
+            "# simlint: disable=SIM003\n"
+            "ok = a.time == b.time\n"
+        )
+        assert lint_source(src, select=["SIM016"]) == []
+
+    def test_multiple_ids_on_one_line(self):
+        src = (
+            "import random  # shim for both rules  "
+            "# simlint: disable=SIM001,SIM002\n"
+        )
+        assert lint_source(src) == []
+
+    def test_directive_inside_docstring_is_ignored(self):
+        src = '"""docs mention # simlint: disable=SIM001 as an example"""\n'
+        assert lint_source(src, select=["SIM016"]) == []
+        # ...and it is not a live suppression either.
+        src = '"""# simlint: disable=SIM001"""\nimport random\n'
+        assert "SIM001" in rule_ids(lint_source(src, select=["SIM001"]))
+
+
+class TestBaseline:
+    def _findings(self):
+        return lint_source("import random\n", path="pkg/mod.py")
+
+    def test_round_trip_filters_findings(self, tmp_path):
+        findings = self._findings()
+        baseline = Baseline.from_findings(findings, "legacy shim; issue #12")
+        path = tmp_path / "baseline.json"
+        baseline.dump(path)
+        loaded = Baseline.load(path)
+        fresh, stale = loaded.apply(findings)
+        assert fresh == []
+        assert stale == []
+
+    def test_unjustified_entry_rejected(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        payload = {
+            "schema": "simlint-baseline/1",
+            "entries": [
+                {
+                    "path": "pkg/mod.py",
+                    "rule_id": "SIM001",
+                    "message": "m",
+                    "justification": "   ",
+                }
+            ],
+        }
+        path.write_text(json.dumps(payload))
+        with pytest.raises(BaselineError, match="no justification"):
+            Baseline.load(path)
+
+    def test_todo_placeholder_rejected(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        Baseline.from_findings(
+            self._findings(), "TODO: justify this accepted finding"
+        ).dump(path)
+        with pytest.raises(BaselineError, match="no justification"):
+            Baseline.load(path)
+
+    def test_stale_entries_surface(self):
+        baseline = Baseline.from_findings(self._findings(), "was needed once")
+        fresh, stale = baseline.apply([])
+        assert fresh == []
+        assert [e.rule_id for e in stale] == ["SIM001"]
+
+    def test_line_drift_does_not_unmatch(self):
+        findings = self._findings()
+        baseline = Baseline.from_findings(findings, "legacy shim")
+        moved = [
+            Finding(f.path, f.line + 40, f.col, f.rule_id, f.message, f.fixit)
+            for f in findings
+        ]
+        fresh, stale = baseline.apply(moved)
+        assert fresh == []
+        assert stale == []
+
+
+def _write_tree(root):
+    pkg = root / "pkg"
+    pkg.mkdir()
+    (pkg / "__init__.py").write_text("")
+    (pkg / "base.py").write_text("VALUE = 1\n")
+    (pkg / "mid.py").write_text("from pkg.base import VALUE\nX = VALUE\n")
+    (pkg / "leaf.py").write_text("import random\n")
+    return pkg
+
+
+class TestIncrementalCache:
+    def test_cold_run_analyzes_everything(self, tmp_path):
+        pkg = _write_tree(tmp_path)
+        cache = tmp_path / "cache.json"
+        findings, journal = lint_paths_cached([str(pkg)], cache)
+        assert journal.invalidated == "no cache file"
+        assert set(journal.analyzed) == {"pkg", "pkg.base", "pkg.mid", "pkg.leaf"}
+        assert journal.reused == []
+        assert rule_ids(findings) == ["SIM001"]
+
+    def test_warm_run_reuses_everything_and_replays_findings(self, tmp_path):
+        pkg = _write_tree(tmp_path)
+        cache = tmp_path / "cache.json"
+        first, _ = lint_paths_cached([str(pkg)], cache)
+        second, journal = lint_paths_cached([str(pkg)], cache)
+        assert journal.analyzed == []
+        assert set(journal.reused) == {"pkg", "pkg.base", "pkg.mid", "pkg.leaf"}
+        assert second == first
+
+    def test_one_module_change_relints_only_reverse_closure(self, tmp_path):
+        """The acceptance-criterion proof: edit pkg.base and only
+        pkg.base plus its importer pkg.mid re-analyze."""
+        pkg = _write_tree(tmp_path)
+        cache = tmp_path / "cache.json"
+        lint_paths_cached([str(pkg)], cache)
+        (pkg / "base.py").write_text("VALUE = 2\n")
+        findings, journal = lint_paths_cached([str(pkg)], cache)
+        assert set(journal.analyzed) == {"pkg.base", "pkg.mid"}
+        assert set(journal.reused) == {"pkg", "pkg.leaf"}
+        assert rule_ids(findings) == ["SIM001"]  # leaf's finding replayed
+
+    def test_removed_module_dirties_its_importers(self, tmp_path):
+        pkg = _write_tree(tmp_path)
+        cache = tmp_path / "cache.json"
+        lint_paths_cached([str(pkg)], cache)
+        (pkg / "base.py").unlink()
+        _, journal = lint_paths_cached([str(pkg)], cache)
+        assert journal.removed == ["pkg.base"]
+        assert "pkg.mid" in journal.analyzed
+
+    def test_select_change_invalidates_cache(self, tmp_path):
+        pkg = _write_tree(tmp_path)
+        cache = tmp_path / "cache.json"
+        lint_paths_cached([str(pkg)], cache)
+        _, journal = lint_paths_cached([str(pkg)], cache, select=["SIM001"])
+        assert journal.invalidated == "rule selection changed"
+        assert journal.reused == []
+
+
+class TestSarif:
+    def test_log_structure_and_location(self):
+        findings = lint_source("import random\n", path="src/repro/bad.py")
+        log = to_sarif(findings)
+        assert log["version"] == "2.1.0"
+        run = log["runs"][0]
+        assert run["tool"]["driver"]["name"] == "simlint"
+        rule_ids_in_driver = [r["id"] for r in run["tool"]["driver"]["rules"]]
+        assert rule_ids_in_driver == [r.id for r in all_rules()]
+        result = run["results"][0]
+        assert result["ruleId"] == "SIM001"
+        location = result["locations"][0]["physicalLocation"]
+        assert location["artifactLocation"]["uri"] == "src/repro/bad.py"
+        assert location["region"]["startLine"] == 1
+        assert location["region"]["startColumn"] == 1  # col 0 -> 1-based
+
+    def test_render_is_valid_json(self):
+        text = render_sarif([])
+        log = json.loads(text)
+        assert log["runs"][0]["results"] == []
+
+
+class TestCliV2:
+    def test_json_format_payload_is_pure(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import random\n")
+        assert lint_main([str(bad), "--format", "json"]) == 1
+        captured = capsys.readouterr()
+        payload = json.loads(captured.out)
+        assert payload[0]["rule_id"] == "SIM001"
+        assert "1 finding(s)" in captured.err
+
+    def test_sarif_format(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import random\n")
+        assert lint_main([str(bad), "--format", "sarif"]) == 1
+        log = json.loads(capsys.readouterr().out)
+        assert log["runs"][0]["results"][0]["ruleId"] == "SIM001"
+
+    def test_cache_and_journal_flags(self, tmp_path, capsys):
+        pkg = _write_tree(tmp_path)
+        cache = tmp_path / "cache.json"
+        journal_file = tmp_path / "journal.json"
+        lint_main([str(pkg), "--cache", str(cache)])
+        assert (
+            lint_main(
+                [str(pkg), "--cache", str(cache), "--journal", str(journal_file)]
+            )
+            == 1
+        )
+        journal = json.loads(journal_file.read_text())
+        assert journal["analyzed"] == []
+        assert len(journal["reused"]) == 4
+        capsys.readouterr()
+
+    def test_write_baseline_then_enforce_justifications(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import random\n")
+        baseline = tmp_path / "baseline.json"
+        assert lint_main([str(bad), "--write-baseline", str(baseline)]) == 0
+        # The skeleton's TODO placeholders are not justifications.
+        assert lint_main([str(bad), "--baseline", str(baseline)]) == 2
+        text = baseline.read_text().replace(
+            "TODO: justify this accepted finding", "fixture exercises SIM001"
+        )
+        baseline.write_text(text)
+        assert lint_main([str(bad), "--baseline", str(baseline)]) == 0
+        capsys.readouterr()
+
+    def test_stale_baseline_entry_fails(self, tmp_path, capsys):
+        clean = tmp_path / "clean.py"
+        clean.write_text("x = 1\n")
+        baseline = tmp_path / "baseline.json"
+        Baseline.from_findings(
+            lint_source("import random\n", path=str(clean)), "was needed"
+        ).dump(baseline)
+        assert lint_main([str(clean), "--baseline", str(baseline)]) == 1
+        assert "stale baseline entry" in capsys.readouterr().out
+
+    def test_syntax_error_is_usage_error(self, tmp_path, capsys):
+        broken = tmp_path / "broken.py"
+        broken.write_text("def f(:\n")
+        assert lint_main([str(broken)]) == 2
+        capsys.readouterr()
+
+    def test_changed_since_limits_reported_modules(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.chdir(tmp_path)
+        subprocess.run(["git", "init", "-q"], check=True)
+        pkg = _write_tree(tmp_path)
+        subprocess.run(["git", "add", "."], check=True)
+        subprocess.run(
+            ["git", "-c", "user.email=t@t", "-c", "user.name=t",
+             "commit", "-qm", "seed"],
+            check=True,
+        )
+        # leaf.py carries the only finding but is untouched since HEAD;
+        # changing base.py must not surface leaf's finding.
+        (pkg / "base.py").write_text("VALUE = 2\n")
+        assert lint_main([str(pkg), "--changed-since", "HEAD"]) == 0
+        out = capsys.readouterr().out
+        assert "no findings" in out
+
+    def test_changed_since_bad_revision_is_usage_error(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.chdir(tmp_path)
+        subprocess.run(["git", "init", "-q"], check=True)
+        pkg = _write_tree(tmp_path)
+        assert lint_main([str(pkg), "--changed-since", "no-such-rev"]) == 2
+        capsys.readouterr()

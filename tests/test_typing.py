@@ -1,0 +1,72 @@
+"""Full-tree strict typing gates.
+
+The authoritative check is ``mypy --strict`` over every ``repro``
+package (the ``[tool.mypy]`` table in pyproject.toml).  mypy is an
+optional dev dependency, so the direct run skips when it is absent —
+but the structural half of the contract (every function in the tree is
+fully annotated) is checked unconditionally with ``ast``, so a missing
+toolchain cannot silently erode coverage.
+"""
+
+import ast
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+import repro
+
+PACKAGE_DIR = Path(repro.__file__).parent
+REPO_ROOT = PACKAGE_DIR.parent.parent
+
+
+def _unannotated_functions() -> list[str]:
+    problems: list[str] = []
+    for path in sorted(PACKAGE_DIR.rglob("*.py")):
+        if "__pycache__" in path.parts:
+            continue
+        tree = ast.parse(path.read_text(encoding="utf-8"))
+        for node in ast.walk(tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            args = node.args
+            every = args.posonlyargs + args.args + args.kwonlyargs
+            missing = [
+                a.arg
+                for a in every
+                if a.annotation is None and a.arg not in ("self", "cls")
+            ]
+            if args.vararg is not None and args.vararg.annotation is None:
+                missing.append(f"*{args.vararg.arg}")
+            if args.kwarg is not None and args.kwarg.annotation is None:
+                missing.append(f"**{args.kwarg.arg}")
+            if node.returns is None or missing:
+                what = "return" if node.returns is None else ",".join(missing)
+                problems.append(f"{path}:{node.lineno} {node.name} ({what})")
+    return problems
+
+
+class TestFullTreeTyping:
+    def test_every_function_in_tree_is_fully_annotated(self):
+        problems = _unannotated_functions()
+        assert problems == [], "\n".join(problems)
+
+    def test_mypy_config_covers_whole_package(self):
+        """pyproject must target the root package, not a subset."""
+        text = (REPO_ROOT / "pyproject.toml").read_text(encoding="utf-8")
+        assert 'packages = ["repro"]' in text
+        assert "strict = true" in text
+
+    @pytest.mark.skipif(
+        shutil.which("mypy") is None, reason="mypy not installed"
+    )
+    def test_mypy_strict_full_tree(self):
+        proc = subprocess.run(
+            [sys.executable, "-m", "mypy"],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr
