@@ -26,7 +26,9 @@ command with ``--resume`` replays the finished points and runs only the
 remainder.  Ctrl-C itself exits with status 130 after flushing whatever
 partial report is printable.  ``--fault-plan FILE`` hands a JSON
 :class:`~repro.faults.FaultPlan` to experiments that take one (the
-``faults`` experiment).
+``faults`` experiment), and ``--arrivals SPEC`` / ``--replay FILE``
+hand an arrival process or a recorded session trace to open-loop
+experiments (the ``openloop`` experiment).
 """
 
 from __future__ import annotations
@@ -59,6 +61,11 @@ def _run_one(
     overrides = {}
     if exp.accepts_fault_plan and args.fault_plan_json is not None:
         overrides["plan_json"] = args.fault_plan_json
+    if exp.accepts_openloop:
+        if args.arrivals is not None:
+            overrides["arrivals"] = args.arrivals
+        if args.replay_rows is not None:
+            overrides["replay"] = args.replay_rows
     if exp.uses_protocols:
         protocols = exp.select_protocols(args.protocols)
         tasks = [
@@ -187,6 +194,24 @@ def main(argv: list[str] | None = None) -> int:
         "(see the faults experiment and repro.faults.FaultPlan)",
     )
     parser.add_argument(
+        "--arrivals",
+        default=None,
+        metavar="SPEC",
+        help="arrival-process spec for open-loop experiments, e.g. "
+        "'poisson:rate=200', 'mmpp:rate_on=500,rate_off=20,"
+        "mean_on=0.1,mean_off=0.4', or 'diurnal:base=50,peak=400,"
+        "period=1.0' (see the openloop experiment and EXPERIMENTS.md, "
+        "Open-loop load)",
+    )
+    parser.add_argument(
+        "--replay",
+        default=None,
+        metavar="FILE",
+        help="JSONL session trace of (t, session, size) rows to replay "
+        "instead of sampling arrivals (written by "
+        "repro.http.openloop.write_trace; open-loop experiments only)",
+    )
+    parser.add_argument(
         "--progress",
         action="store_true",
         help="print per-point progress/ETA lines to stderr",
@@ -203,7 +228,8 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         metavar="SPEC",
         help="flight-recorder capture: comma-separated channels "
-        "(cwnd, rtt, state, probe, queue, rto, fault or 'all'), with "
+        "(cwnd, rtt, state, probe, queue, rto, fault, session, pool "
+        "or 'all'), with "
         "optional @N decimation on sample channels and flow=<id>/"
         "link=<glob> filters, e.g. 'cwnd@8,probe,queue'; one JSONL "
         "trace file is written per executed sweep point (see "
@@ -286,6 +312,34 @@ def main(argv: list[str] | None = None) -> int:
                 f"--fault-plan: experiment {args.experiment!r} does not "
                 "take a fault plan (try the 'faults' experiment)"
             )
+
+    args.replay_rows = None
+    if args.arrivals is not None and args.replay is not None:
+        parser.error("--arrivals and --replay are mutually exclusive")
+    if args.arrivals is not None or args.replay is not None:
+        flag = "--arrivals" if args.arrivals is not None else "--replay"
+        if not any(EXPERIMENTS[name].accepts_openloop for name in names):
+            parser.error(
+                f"{flag}: experiment {args.experiment!r} does not take "
+                "an open-loop schedule (try the 'openloop' experiment)"
+            )
+    if args.arrivals is not None:
+        from repro.http.openloop import parse_arrivals
+
+        try:
+            parse_arrivals(args.arrivals)  # validate early
+        except ValueError as exc:
+            parser.error(f"--arrivals: {exc}")
+    if args.replay is not None:
+        from repro.http.openloop import load_trace
+
+        try:
+            schedule = load_trace(args.replay)
+        except (OSError, ValueError) as exc:
+            parser.error(f"--replay {args.replay}: {exc}")
+        args.replay_rows = tuple(
+            (r.time, r.session, r.size_bytes) for r in schedule
+        )
 
     cache_root = args.cache_dir or default_cache_dir()
     cache = None

@@ -57,7 +57,10 @@ class Experiment(abc.ABC):
     * ``uses_protocols`` — False for experiments that ignore the CLI's
       ``--protocols`` list (workload characterization, ablations);
     * ``accepts_fault_plan`` — True for experiments whose params take a
-      ``plan_json`` override from the CLI's ``--fault-plan`` file.
+      ``plan_json`` override from the CLI's ``--fault-plan`` file;
+    * ``accepts_openloop`` — True for experiments whose params take
+      ``arrivals``/``replay`` overrides from the CLI's ``--arrivals``
+      spec and ``--replay`` trace file.
     """
 
     id: str = ""
@@ -66,6 +69,7 @@ class Experiment(abc.ABC):
     params_cls: Optional[type] = None
     uses_protocols: bool = True
     accepts_fault_plan: bool = False
+    accepts_openloop: bool = False
 
     # ------------------------------------------------------------------
     # Parameter construction

@@ -44,6 +44,7 @@ _EXPERIMENT_MODULES = (
     "repro.experiments.ablation",
     "repro.experiments.incast",
     "repro.experiments.faults",
+    "repro.experiments.openloop",
 )
 
 _REGISTRY: dict[str, "Experiment"] = {}

@@ -1,0 +1,75 @@
+"""Open-loop HTTP load engine.
+
+Closed-loop drivers (``repro.http.apps``) issue the next request only
+after the previous response lands, so concurrency is whatever the
+experiment hard-codes.  Open-loop load inverts that: *users* arrive by
+a seeded stochastic process whether or not the system keeps up, each
+runs a session of think-time-separated requests, and connections are
+leased from a keep-alive pool with churn — concurrency becomes an
+emergent property of offered load, exactly the regime the paper's
+highly-concurrent persistent-connection premise describes.
+
+The engine splits into a pure, seeded *schedule compiler* and a
+simulator *driver*:
+
+* :mod:`~repro.http.openloop.arrivals` — arrival processes (Poisson,
+  MMPP on/off bursts, diurnal rate schedules) behind one spec grammar;
+* :mod:`~repro.http.openloop.sessions` — user sessions (request chains
+  with think times and paper-style size distributions, multi-tier RPC
+  fan-out) compiled to a deterministic request schedule;
+* :mod:`~repro.http.openloop.trace` — the JSONL trace-replay format
+  (one ``{"t", "session", "size"}`` row per request, byte-canonical);
+* :mod:`~repro.http.openloop.pool` — the keep-alive connection pool
+  (idle timeout, max-reuse retirement, reconnect storms) with a
+  conservation invariant: ``opened == closed + leased + idle``;
+* :mod:`~repro.http.openloop.driver` — plays a compiled schedule onto
+  the kernel timeline through the pool and collects per-request
+  latencies plus pool churn statistics.
+
+Same seed + same spec ⇒ byte-identical schedules, trace files, and
+telemetry, across processes and sweep backends.
+"""
+
+from repro.http.openloop.arrivals import (
+    ArrivalProcess,
+    DiurnalArrivals,
+    MmppArrivals,
+    PoissonArrivals,
+    parse_arrivals,
+)
+from repro.http.openloop.driver import OpenLoopDriver, OpenLoopRun
+from repro.http.openloop.pool import ConnectionPool, PoolStats
+from repro.http.openloop.sessions import (
+    FanoutSpec,
+    ScheduledRequest,
+    SessionConfig,
+    SessionSchedule,
+    compile_schedule,
+)
+from repro.http.openloop.trace import (
+    check_trace,
+    load_trace,
+    trace_rows,
+    write_trace,
+)
+
+__all__ = [
+    "ArrivalProcess",
+    "ConnectionPool",
+    "DiurnalArrivals",
+    "FanoutSpec",
+    "MmppArrivals",
+    "OpenLoopDriver",
+    "OpenLoopRun",
+    "PoissonArrivals",
+    "PoolStats",
+    "ScheduledRequest",
+    "SessionConfig",
+    "SessionSchedule",
+    "check_trace",
+    "compile_schedule",
+    "load_trace",
+    "parse_arrivals",
+    "trace_rows",
+    "write_trace",
+]

@@ -31,6 +31,14 @@ class PacketTrain:
     n_packets: int
     total_bytes: int
 
+    def __post_init__(self) -> None:
+        if self.n_packets < 1:
+            raise ValueError("a packet train needs at least one packet")
+        if self.total_bytes < 1:
+            raise ValueError("a packet train needs at least one byte")
+        if self.end_time < self.start_time:
+            raise ValueError("train end_time precedes start_time")
+
     @property
     def duration(self) -> float:
         return self.end_time - self.start_time

@@ -20,10 +20,12 @@ from repro.obs.records import (
     SAMPLE_CHANNELS,
     CwndRecord,
     FaultRecord,
+    PoolRecord,
     ProbeRecord,
     QueueRecord,
     RtoRecord,
     RttRecord,
+    SessionRecord,
     StateRecord,
     validate_row,
 )
@@ -38,12 +40,14 @@ __all__ = [
     "CwndRecord",
     "CwndTimeline",
     "FaultRecord",
+    "PoolRecord",
     "ProbeRecord",
     "QueueRecord",
     "QueueTap",
     "QueueTimeline",
     "RtoRecord",
     "RttRecord",
+    "SessionRecord",
     "StateRecord",
     "Telemetry",
     "TraceSpec",

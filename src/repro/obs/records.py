@@ -22,11 +22,13 @@ __all__ = [
     "CHANNELS",
     "CwndRecord",
     "FaultRecord",
+    "PoolRecord",
     "ProbeRecord",
     "QueueRecord",
     "REQUIRED_ROW_KEYS",
     "RtoRecord",
     "RttRecord",
+    "SessionRecord",
     "StateRecord",
     "validate_row",
 ]
@@ -34,6 +36,7 @@ __all__ = [
 #: every channel the bus knows, in display order.
 CHANNELS: tuple[str, ...] = (
     "cwnd", "rtt", "state", "probe", "queue", "rto", "fault",
+    "session", "pool",
 )
 
 #: channels carrying periodic samples; only these honour a trace spec's
@@ -51,6 +54,8 @@ REQUIRED_ROW_KEYS: dict[str, frozenset[str]] = {
     "queue": frozenset({"ch", "t", "link", "kind", "backlog"}),
     "rto": frozenset({"ch", "t", "flow", "rto", "cwnd"}),
     "fault": frozenset({"ch", "t", "fault"}),
+    "session": frozenset({"ch", "t", "session", "event"}),
+    "pool": frozenset({"ch", "t", "pool", "event", "conn"}),
 }
 
 #: queue-record kinds: one periodic sample plus the four event causes.
@@ -58,6 +63,14 @@ QUEUE_KINDS: tuple[str, ...] = ("sample", "drop", "early_drop", "mark", "evict")
 
 #: probe lifecycle events (TCP-TRIM Algorithms 1 and 2).
 PROBE_EVENTS: tuple[str, ...] = ("enter", "ack", "timeout", "inherit")
+
+#: open-loop session lifecycle events (repro.http.openloop).
+SESSION_EVENTS: tuple[str, ...] = ("request", "complete")
+
+#: connection-pool lifecycle events (repro.http.openloop.pool).
+POOL_EVENTS: tuple[str, ...] = (
+    "open", "reuse", "checkin", "close_idle", "close_retired",
+)
 
 
 @dataclass(frozen=True, slots=True)
@@ -186,6 +199,64 @@ class FaultRecord:
 
     def row(self) -> dict[str, Any]:
         return {"ch": "fault", "t": self.t, "fault": self.fault}
+
+
+@dataclass(frozen=True, slots=True)
+class SessionRecord:
+    """One open-loop session event.
+
+    ``event`` is one of :data:`SESSION_EVENTS`; ``size`` rides along on
+    ``request`` (the response bytes asked for), ``latency`` on
+    ``complete`` (request issue to response fully acknowledged).
+    """
+
+    channel: ClassVar[str] = "session"
+    t: float
+    session: int
+    event: str
+    size: Optional[int] = None
+    latency: Optional[float] = None
+
+    def row(self) -> dict[str, Any]:
+        row: dict[str, Any] = {
+            "ch": "session", "t": self.t, "session": self.session,
+            "event": self.event,
+        }
+        if self.size is not None:
+            row["size"] = self.size
+        if self.latency is not None:
+            row["latency"] = self.latency
+        return row
+
+
+@dataclass(frozen=True, slots=True)
+class PoolRecord:
+    """A connection-pool transition (open/reuse/checkin/close).
+
+    ``pool`` names the pool (one per backend server), ``conn`` the
+    connection within it; ``leased``/``idle`` are the pool's occupancy
+    right after the transition — the numbers whose conservation the
+    open-loop property tests pin.
+    """
+
+    channel: ClassVar[str] = "pool"
+    t: float
+    pool: str
+    event: str
+    conn: int
+    leased: Optional[int] = None
+    idle: Optional[int] = None
+
+    def row(self) -> dict[str, Any]:
+        row: dict[str, Any] = {
+            "ch": "pool", "t": self.t, "pool": self.pool,
+            "event": self.event, "conn": self.conn,
+        }
+        if self.leased is not None:
+            row["leased"] = self.leased
+        if self.idle is not None:
+            row["idle"] = self.idle
+        return row
 
 
 def validate_row(row: Any) -> str:

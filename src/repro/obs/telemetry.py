@@ -34,10 +34,12 @@ from repro.obs.records import (
     CHANNELS,
     CwndRecord,
     FaultRecord,
+    PoolRecord,
     ProbeRecord,
     QueueRecord,
     RtoRecord,
     RttRecord,
+    SessionRecord,
     StateRecord,
 )
 from repro.obs.spec import TraceSpec
@@ -49,7 +51,7 @@ __all__ = ["QueueTap", "Telemetry"]
 
 Record = Union[
     CwndRecord, RttRecord, StateRecord, ProbeRecord, QueueRecord,
-    RtoRecord, FaultRecord,
+    RtoRecord, FaultRecord, SessionRecord, PoolRecord,
 ]
 
 #: default per-channel ring capacity — generous for quick-preset sweeps
@@ -166,6 +168,36 @@ class Telemetry:
         if "fault" not in self._buffers:
             return
         self._push("fault", FaultRecord(t, description))
+
+    def on_session(
+        self,
+        t: float,
+        session: int,
+        event: str,
+        size: Optional[int] = None,
+        latency: Optional[float] = None,
+    ) -> None:
+        if "session" not in self._buffers:
+            return
+        self._push(
+            "session",
+            SessionRecord(t, session, event, size=size, latency=latency),
+        )
+
+    def on_pool(
+        self,
+        t: float,
+        pool: str,
+        event: str,
+        conn: int,
+        leased: Optional[int] = None,
+        idle: Optional[int] = None,
+    ) -> None:
+        if "pool" not in self._buffers:
+            return
+        self._push(
+            "pool", PoolRecord(t, pool, event, conn, leased=leased, idle=idle)
+        )
 
     # ------------------------------------------------------------------
     # Wiring

@@ -30,6 +30,11 @@ through:
     *disabled* path is covered by gating ``kernel_churn`` — every other
     benchmark runs with telemetry off, so any overhead leak shows up
     there.)
+``session_arrivals``
+    Open-loop schedule compilation (:mod:`repro.http.openloop`): MMPP
+    arrival sampling, geometric session chains, size draws, fan-out,
+    and the final sort — the pure-Python precompute every offered-load
+    sweep point runs before its simulation.
 ``lint_cold`` / ``lint_incremental``
     The static-analysis toolchain itself: whole-program simlint over a
     synthetic import-chained tree, cold versus a warm incremental cache
@@ -325,6 +330,44 @@ def bench_sweep_fanout_shm(scale: int) -> BenchRun:
     return _run_fanout(scale, "shm")
 
 
+def bench_session_arrivals(scale: int) -> BenchRun:
+    """Open-loop schedule compilation: MMPP arrivals through sessions.
+
+    Measures the pure compile path of :mod:`repro.http.openloop` —
+    vectorized arrival sampling, geometric chain expansion, size draws
+    from the paper CDF, fan-out, and the final sort — which every
+    offered-load sweep point pays before its simulation starts.  The
+    checksum folds the canonical trace encoding, so a change in the
+    draw sequence (not just the count) fails the behavior check.
+    """
+    from repro.http.openloop import (
+        FanoutSpec,
+        MmppArrivals,
+        SessionConfig,
+        compile_schedule,
+        trace_rows,
+    )
+    from repro.obs.export import dump_row
+
+    arrivals = MmppArrivals(
+        rate_on=600.0, rate_off=40.0, mean_on=0.05, mean_off=0.15
+    )
+    config = SessionConfig(
+        mean_requests=3.0,
+        think_time_s=0.02,
+        fanout=FanoutSpec(aggregators=1, leaves=2),
+    )
+    schedule = compile_schedule(
+        arrivals, config, seed=1, horizon=0.25 * scale
+    )
+    if len(schedule) == 0:  # pragma: no cover - sizing bug guard
+        raise RuntimeError("session_arrivals compiled an empty schedule")
+    checksum = 0
+    for row in trace_rows(schedule):
+        checksum = zlib.crc32(dump_row(row).encode("utf-8"), checksum)
+    return BenchRun(len(schedule), schedule.horizon, checksum)
+
+
 # ---------------------------------------------------------------------------
 # simlint whole-program analysis benchmarks
 # ---------------------------------------------------------------------------
@@ -500,6 +543,13 @@ BENCHMARKS: tuple[BenchmarkSpec, ...] = (
         "telemetry_trace",
         "trim_probe workload with the full flight recorder attached",
         bench_telemetry_trace,
+        quick_scale=8,
+        full_scale=40,
+    ),
+    BenchmarkSpec(
+        "session_arrivals",
+        "open-loop MMPP schedule compilation (arrivals through sessions)",
+        bench_session_arrivals,
         quick_scale=8,
         full_scale=40,
     ),

@@ -18,7 +18,7 @@ class TestArgumentParsing:
         expected = {
             "fig1", "fig2", "fig4", "fig5", "fig6", "fig7", "fig8",
             "fig9", "fig10", "fig11", "fig12", "table1", "fig13a",
-            "fig13be", "ablations", "incast", "faults",
+            "fig13be", "ablations", "incast", "faults", "openloop",
         }
         assert expected == set(cli.EXPERIMENTS)
 

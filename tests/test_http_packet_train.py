@@ -60,6 +60,26 @@ class TestClassification:
         assert large.is_long
 
 
+class TestConstructionValidation:
+    def test_zero_packet_train_rejected(self):
+        """Regression: an empty train used to construct silently and
+        poison downstream statistics (mean sizes, train counts)."""
+        with pytest.raises(ValueError):
+            PacketTrain(0.0, 0.0, 0, 100)
+
+    def test_negative_packet_count_rejected(self):
+        with pytest.raises(ValueError):
+            PacketTrain(0.0, 0.0, -1, 100)
+
+    def test_zero_byte_train_rejected(self):
+        with pytest.raises(ValueError):
+            PacketTrain(0.0, 0.0, 1, 0)
+
+    def test_inverted_time_span_rejected(self):
+        with pytest.raises(ValueError):
+            PacketTrain(1.0, 0.5, 1, 100)
+
+
 class TestTrainIntervals:
     def test_intervals_between_trains(self):
         trains = [

@@ -81,6 +81,53 @@ class TestPiecewiseLogCdf:
         assert lo <= hi
 
 
+class TestSizeDistributionProperties:
+    """Hypothesis properties pinning the workload-realism contract:
+    the paper-style size distributions are proper CDFs (monotone, with
+    the published support) and sampling is a pure function of seed."""
+
+    @settings(max_examples=200)
+    @given(
+        st.lists(
+            st.floats(min_value=0.0, max_value=1.0),
+            min_size=2,
+            max_size=50,
+        )
+    )
+    def test_property_cdf_monotone(self, probs):
+        """F(x) is non-decreasing along any increasing value path."""
+        for sampler in (pt_size_sampler(), gap_sampler()):
+            values = sorted(float(v) for v in sampler.quantile(sorted(probs)))
+            cdf_values = sampler.cdf(values)
+            assert all(a <= b + 1e-12 for a, b in zip(cdf_values, cdf_values[1:]))
+
+    @settings(max_examples=200)
+    @given(
+        st.integers(min_value=0, max_value=2**32 - 1),
+        st.integers(min_value=1, max_value=512),
+    )
+    def test_property_samples_within_support(self, seed, n):
+        """Every sample lands inside the anchored support, any seed."""
+        for sampler, anchors in (
+            (pt_size_sampler(), PT_SIZE_CDF_ANCHORS),
+            (gap_sampler(), GAP_CDF_ANCHORS),
+        ):
+            samples = sampler.sample(np.random.default_rng(seed), n)
+            assert samples.min() >= anchors[0][0] - 1e-9
+            assert samples.max() <= anchors[-1][0] + 1e-9
+
+    @settings(max_examples=200)
+    @given(
+        st.integers(min_value=0, max_value=2**32 - 1),
+        st.integers(min_value=1, max_value=512),
+    )
+    def test_property_seed_determinism(self, seed, n):
+        """Same seed, same draw count ⇒ bit-identical sample arrays."""
+        one = pt_size_sampler().sample(np.random.default_rng(seed), n)
+        two = pt_size_sampler().sample(np.random.default_rng(seed), n)
+        assert np.array_equal(one, two)
+
+
 class TestOnOffSchedule:
     def test_events_ordered_and_within_duration(self):
         rng = np.random.default_rng(4)

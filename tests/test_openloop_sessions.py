@@ -1,0 +1,185 @@
+"""Tests for the session model and schedule compiler."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.http.openloop import (
+    FanoutSpec,
+    PoissonArrivals,
+    ScheduledRequest,
+    SessionConfig,
+    SessionSchedule,
+    compile_schedule,
+)
+from repro.http.workload import PT_SIZE_CDF_ANCHORS
+
+SEEDS = st.integers(min_value=0, max_value=2**32 - 1)
+
+
+class TestFanoutSpec:
+    def test_split_partitions_with_ceiling(self):
+        spec = FanoutSpec(aggregators=2, leaves=3)
+        assert spec.total_leaves == 6
+        assert spec.split(6000) == 1000
+        assert spec.split(6001) == 1001
+        assert spec.split(1) == 1  # never below one byte
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FanoutSpec(aggregators=0)
+        with pytest.raises(ValueError):
+            FanoutSpec(leaves=0)
+
+
+class TestSessionConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SessionConfig(mean_requests=0.5)
+        with pytest.raises(ValueError):
+            SessionConfig(think_time_s=-1.0)
+        with pytest.raises(ValueError):
+            SessionConfig(mean_requests=float("nan"))
+
+
+class TestSessionSchedule:
+    def test_rejects_unsorted_times(self):
+        with pytest.raises(ValueError):
+            SessionSchedule(
+                requests=(
+                    ScheduledRequest(1.0, 0, 10),
+                    ScheduledRequest(0.5, 1, 10),
+                ),
+                n_sessions=2,
+                horizon=2.0,
+            )
+
+    def test_rejects_non_positive_sizes(self):
+        with pytest.raises(ValueError):
+            SessionSchedule(
+                requests=(ScheduledRequest(0.0, 0, 0),),
+                n_sessions=1,
+                horizon=1.0,
+            )
+
+    def test_from_requests_sorts_and_counts_sessions(self):
+        schedule = SessionSchedule.from_requests(
+            [
+                ScheduledRequest(0.5, 1, 10),
+                ScheduledRequest(0.1, 0, 20),
+                ScheduledRequest(0.5, 0, 30),
+            ]
+        )
+        assert [r.time for r in schedule] == [0.1, 0.5, 0.5]
+        assert schedule.n_sessions == 2
+        assert schedule.horizon >= 0.5
+
+    def test_offered_rate_and_total_bytes(self):
+        schedule = SessionSchedule.from_requests(
+            [ScheduledRequest(0.0, 0, 100), ScheduledRequest(1.0, 1, 200)],
+            horizon=2.0,
+        )
+        assert schedule.offered_rate() == pytest.approx(1.0)
+        assert schedule.total_bytes == 300
+
+
+class TestCompileSchedule:
+    @settings(max_examples=200, deadline=None)
+    @given(seed=SEEDS)
+    def test_property_same_seed_same_schedule(self, seed):
+        """The compiler is pure in (arrivals, config, seed, horizon)."""
+        one = compile_schedule(
+            PoissonArrivals(80.0), SessionConfig(), seed=seed, horizon=1.0
+        )
+        two = compile_schedule(
+            PoissonArrivals(80.0), SessionConfig(), seed=seed, horizon=1.0
+        )
+        assert one == two
+
+    @settings(max_examples=100, deadline=None)
+    @given(seed=SEEDS)
+    def test_property_schedule_well_formed(self, seed):
+        schedule = compile_schedule(
+            PoissonArrivals(120.0),
+            SessionConfig(mean_requests=2.5, think_time_s=0.02),
+            seed=seed,
+            horizon=1.0,
+        )
+        times = [r.time for r in schedule]
+        assert times == sorted(times)
+        assert all(0.0 <= t < 1.0 for t in times)
+        lo, hi = PT_SIZE_CDF_ANCHORS[0][0], PT_SIZE_CDF_ANCHORS[-1][0]
+        for request in schedule:
+            assert math.floor(lo) <= request.size_bytes <= math.ceil(hi)
+
+    def test_different_seeds_differ(self):
+        one = compile_schedule(
+            PoissonArrivals(80.0), SessionConfig(), seed=1, horizon=1.0
+        )
+        two = compile_schedule(
+            PoissonArrivals(80.0), SessionConfig(), seed=2, horizon=1.0
+        )
+        assert one != two
+
+    def test_fanout_expands_requests(self):
+        """aggregators × leaves backend requests per logical request,
+        all at the same instant, sizes partitioning the logical size."""
+        base = compile_schedule(
+            PoissonArrivals(40.0),
+            SessionConfig(fanout=FanoutSpec(aggregators=1, leaves=1)),
+            seed=11,
+            horizon=1.0,
+        )
+        fanned = compile_schedule(
+            PoissonArrivals(40.0),
+            SessionConfig(fanout=FanoutSpec(aggregators=2, leaves=3)),
+            seed=11,
+            horizon=1.0,
+        )
+        assert len(fanned) == 6 * len(base)
+        base_rows = {(r.time, r.session) for r in base}
+        for request in fanned:
+            assert (request.time, request.session) in base_rows
+
+    def test_chains_have_multiple_requests(self):
+        schedule = compile_schedule(
+            PoissonArrivals(50.0),
+            SessionConfig(mean_requests=4.0, think_time_s=0.01),
+            seed=3,
+            horizon=2.0,
+        )
+        per_session: dict[int, int] = {}
+        for request in schedule:
+            per_session[request.session] = per_session.get(request.session, 0) + 1
+        counts = list(per_session.values())
+        assert max(counts) > 1  # some chain continued
+        mean = sum(counts) / len(counts)
+        assert 2.0 < mean < 6.0  # geometric mean ≈ 4, horizon-truncated
+
+    def test_horizon_truncates_chains(self):
+        schedule = compile_schedule(
+            PoissonArrivals(200.0),
+            SessionConfig(mean_requests=50.0, think_time_s=0.5),
+            seed=5,
+            horizon=0.5,
+        )
+        assert all(r.time < 0.5 for r in schedule)
+
+    def test_zero_think_time_stacks_chain(self):
+        schedule = compile_schedule(
+            PoissonArrivals(30.0),
+            SessionConfig(mean_requests=3.0, think_time_s=0.0),
+            seed=9,
+            horizon=1.0,
+        )
+        by_session: dict[int, set[float]] = {}
+        for request in schedule:
+            by_session.setdefault(request.session, set()).add(request.time)
+        assert all(len(times) == 1 for times in by_session.values())
+
+    def test_invalid_horizon_rejected(self):
+        with pytest.raises(ValueError):
+            compile_schedule(
+                PoissonArrivals(10.0), SessionConfig(), seed=0, horizon=0.0
+            )

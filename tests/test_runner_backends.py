@@ -134,6 +134,48 @@ class TestBackendEquivalence:
         assert reference[2].backend == "serial"
 
 
+class TestOpenLoopBackendEquivalence:
+    """One openloop point (seeded schedule + driver) is byte-identical
+    under every backend — the open-loop engine's determinism crosses
+    the pickle and shared-memory transports intact."""
+
+    @pytest.fixture(scope="class")
+    def reference(self, tmp_path_factory):
+        return self._sweep("serial", tmp_path_factory.mktemp("ol-ref"))
+
+    @staticmethod
+    def _sweep(backend, tmp_path):
+        experiment = registry.get("openloop")
+        params = experiment.make_params(
+            "quick", protocol="reno", load_factors=(1.0,),
+        )
+        journal = tmp_path / f"{backend}.jsonl"
+        runner = SweepRunner(
+            jobs=2,
+            cache=None,
+            backend=backend,
+            checkpoint=SweepCheckpoint(journal),
+        )
+        payload = runner.run(experiment, params, seed=11)
+        return payload, _journal_point_lines(journal), runner.last_stats
+
+    @pytest.mark.parametrize("backend", ["process", "shm"])
+    def test_payloads_and_journals_identical(
+        self, backend, reference, tmp_path
+    ):
+        ref_payload, ref_journal, _ = reference
+        payload, journal, stats = self._sweep(backend, tmp_path)
+        assert to_jsonable(payload) == to_jsonable(ref_payload)
+        assert journal == ref_journal
+        assert stats.backend == backend
+        assert stats.failures == []
+
+    def test_point_actually_simulated(self, reference):
+        payload = reference[0]
+        assert len(payload) == 1
+        assert payload[0].completed == payload[0].offered > 0
+
+
 # ----------------------------------------------------------------------
 # Shared-memory transport
 # ----------------------------------------------------------------------
