@@ -134,13 +134,35 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "--backend",
-        choices=("serial", "process", "shm"),
+        choices=("serial", "process", "shm", "dispatch"),
         default=None,
         help="sweep execution backend: serial (inline), process "
-        "(worker pool, pickle transport), or shm (worker pool with "
-        "shared-memory result transport for trace-heavy payloads); "
+        "(worker pool, pickle transport), shm (worker pool with "
+        "shared-memory result transport for trace-heavy payloads), or "
+        "dispatch (fault-tolerant socket workers with heartbeat "
+        "leases, classified retry, and quarantine — see --hosts); "
         "default picks serial under --jobs 1 and process otherwise. "
         "Results are identical under every backend.",
+    )
+    parser.add_argument(
+        "--hosts",
+        default=None,
+        metavar="SPEC",
+        help="dispatch fleet description: 'local:N' for N local worker "
+        "processes, or a JSON host-list file with per-host worker "
+        "counts and spawn-command templates (see EXPERIMENTS.md, "
+        "Multi-host sweeps); requires --backend dispatch",
+    )
+    parser.add_argument(
+        "--retry-policy",
+        default=None,
+        metavar="SPEC",
+        help="failure-handling policy, e.g. "
+        "'attempts=3,base=0.1,mult=2,cap=5,jitter=0.5,transient=8,"
+        "seed=7': attempts caps a point's own retries (exponential "
+        "backoff with deterministic seeded jitter), transient budgets "
+        "environment-fault retries separately (worker death, lease "
+        "expiry)",
     )
     parser.add_argument(
         "--schedule",
@@ -355,19 +377,60 @@ def main(argv: list[str] | None = None) -> int:
             f"{args.experiment}-{args.preset}-seed{args.seed}.jsonl",
         )
         checkpoint = SweepCheckpoint(checkpoint_path)
+
+    if args.hosts is not None and args.backend != "dispatch":
+        parser.error("--hosts requires --backend dispatch")
+    retry_policy = None
+    if args.retry_policy is not None:
+        from repro.runner import RetryPolicy
+
+        try:
+            retry_policy = RetryPolicy.parse(args.retry_policy)
+        except ValueError as exc:
+            parser.error(f"--retry-policy: {exc}")
+
+    backend: Any = args.backend
+    quarantine_path = None
+    if args.backend == "dispatch":
+        from repro.runner.backends.dispatch import load_dispatch_backend
+        from repro.runner.dispatch.hosts import parse_hosts
+
+        hosts = None
+        if args.hosts is not None:
+            try:
+                hosts = parse_hosts(args.hosts)
+            except (OSError, ValueError, KeyError) as exc:
+                parser.error(f"--hosts {args.hosts}: {exc}")
+        # Quarantined points land next to the journal (or the cwd when
+        # checkpointing is off) so a failed sweep's evidence survives it.
+        if checkpoint is not None:
+            quarantine_path = os.path.join(
+                os.path.dirname(str(checkpoint.path)),
+                f"{args.experiment}-{args.preset}-seed{args.seed}"
+                ".quarantine.jsonl",
+            )
+        else:
+            quarantine_path = "quarantine.jsonl"
+        backend = load_dispatch_backend()(
+            hosts=hosts,
+            retry_policy=retry_policy,
+            task_timeout=args.timeout,
+            quarantine_path=quarantine_path,
+        )
     runner = SweepRunner(
         jobs=args.jobs,
         cache=cache,
         timeout=args.timeout,
+        retry_policy=retry_policy,
         progress=args.progress,
         label=args.experiment,
         checkpoint=checkpoint,
         resume=args.resume,
-        backend=args.backend,
+        backend=backend,
         schedule=args.schedule,
     )
     artifacts = {}
-    totals = {"hits": 0, "executed": 0}
+    totals = {"hits": 0, "executed": 0, "quarantined": 0}
 
     def run_selected() -> None:
         seen: set[str] = set()
@@ -383,11 +446,14 @@ def main(argv: list[str] | None = None) -> int:
             if stats is not None:
                 totals["hits"] += stats.cache_hits
                 totals["executed"] += stats.executed
+                totals["quarantined"] += stats.quarantined
             note = ""
             if stats is not None and stats.cache_hits:
                 note += f", {stats.cache_hits}/{stats.total_points} cached"
             if stats is not None and stats.resumed:
                 note += f", {stats.resumed}/{stats.total_points} resumed"
+            if stats is not None and stats.quarantined:
+                note += f", {stats.quarantined} QUARANTINED"
             print(f"    [{time.perf_counter() - start:.1f}s{note}]\n")
 
     interrupted = False
@@ -449,7 +515,23 @@ def main(argv: list[str] | None = None) -> int:
             },
         )
         print(f"results written to {path}")
-    return 130 if interrupted else 0
+    if interrupted:
+        return 130
+    if totals["quarantined"]:
+        # The sweep *completed* — every healthy point has its result —
+        # but a quarantined point is a reproducible failure that must
+        # not pass silently.
+        print(
+            f"{totals['quarantined']} point(s) quarantined"
+            + (
+                f"; tracebacks in {quarantine_path}"
+                if quarantine_path is not None
+                else ""
+            ),
+            file=sys.stderr,
+        )
+        return 1
+    return 0
 
 
 if __name__ == "__main__":

@@ -27,6 +27,7 @@ __all__ = [
     "ModuleMutableStateRule",
     "MutableDefaultRule",
     "RawExecutorRule",
+    "RawSocketRule",
     "TimeEqualityRule",
     "UnjustifiedSuppressionRule",
     "UnseededRandomnessRule",
@@ -588,4 +589,57 @@ class ExperimentContractRule(Rule):
                     self,
                     f"Experiment subclass {node.name} does not define "
                     f"{', '.join(missing)}",
+                )
+
+
+@register_rule
+class RawSocketRule(Rule):
+    """Socket construction belongs to the dispatch frame layer alone.
+
+    The dispatch protocol's crash-safety story rests on every byte
+    crossing one code path: length-prefixed frames with a single
+    ``sendall``, EOF distinguished from torn frames, heartbeats under
+    the same write lock as results.  A raw socket opened anywhere else
+    speaks *around* that protocol — its traffic is invisible to lease
+    accounting, survives no chaos test, and silently forks the wire
+    format.  ``repro/runner/dispatch/`` is the sanctioned home.
+    """
+
+    id = "SIM017"
+    summary = "raw socket construction outside runner/dispatch/ forks the wire protocol"
+    fixit = (
+        "speak through repro.runner.dispatch.frames (send_frame/"
+        "recv_frame over listen_socket()/connect_socket()) or add the "
+        "transport to the dispatch package itself"
+    )
+
+    #: the sanctioned implementation of the transport.
+    EXEMPT_DIRS = ("/runner/dispatch/",)
+
+    #: socket-module entry points that mint a connection or listener.
+    FORBIDDEN_CALLS = frozenset(
+        {
+            "socket.socket",
+            "socket.create_connection",
+            "socket.create_server",
+            "socket.socketpair",
+        }
+    )
+
+    def _applies(self, path: str) -> bool:
+        return not any(part in f"/{path}" for part in self.EXEMPT_DIRS)
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        if not self._applies(module.path):
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = module.resolve(node.func)
+            if name in self.FORBIDDEN_CALLS:
+                yield from module.finding(
+                    node,
+                    self,
+                    f"direct {name}() outside runner/dispatch/ bypasses "
+                    "the framed dispatch transport",
                 )

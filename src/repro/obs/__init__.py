@@ -8,6 +8,7 @@ query views.  Off by default; a simulation without a bus pays one
 attribute load and one None-check per emit point.
 """
 
+from repro.obs.dispatch import DispatchLog
 from repro.obs.export import (
     check_jsonl,
     dump_row,
@@ -19,6 +20,7 @@ from repro.obs.records import (
     CHANNELS,
     SAMPLE_CHANNELS,
     CwndRecord,
+    DispatchRecord,
     FaultRecord,
     PoolRecord,
     ProbeRecord,
@@ -39,6 +41,8 @@ __all__ = [
     "SAMPLE_CHANNELS",
     "CwndRecord",
     "CwndTimeline",
+    "DispatchLog",
+    "DispatchRecord",
     "FaultRecord",
     "PoolRecord",
     "ProbeRecord",

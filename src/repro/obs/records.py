@@ -21,6 +21,7 @@ from typing import Any, ClassVar, Optional
 __all__ = [
     "CHANNELS",
     "CwndRecord",
+    "DispatchRecord",
     "FaultRecord",
     "PoolRecord",
     "ProbeRecord",
@@ -36,7 +37,7 @@ __all__ = [
 #: every channel the bus knows, in display order.
 CHANNELS: tuple[str, ...] = (
     "cwnd", "rtt", "state", "probe", "queue", "rto", "fault",
-    "session", "pool",
+    "session", "pool", "dispatch",
 )
 
 #: channels carrying periodic samples; only these honour a trace spec's
@@ -56,6 +57,7 @@ REQUIRED_ROW_KEYS: dict[str, frozenset[str]] = {
     "fault": frozenset({"ch", "t", "fault"}),
     "session": frozenset({"ch", "t", "session", "event"}),
     "pool": frozenset({"ch", "t", "pool", "event", "conn"}),
+    "dispatch": frozenset({"ch", "t", "event"}),
 }
 
 #: queue-record kinds: one periodic sample plus the four event causes.
@@ -70,6 +72,15 @@ SESSION_EVENTS: tuple[str, ...] = ("request", "complete")
 #: connection-pool lifecycle events (repro.http.openloop.pool).
 POOL_EVENTS: tuple[str, ...] = (
     "open", "reuse", "checkin", "close_idle", "close_retired",
+)
+
+#: fleet-dispatch lifecycle events (repro.runner.dispatch): worker and
+#: lease life cycle, retry/speculation decisions, quarantine, and the
+#: per-host circuit breaker's transitions.
+DISPATCH_EVENTS: tuple[str, ...] = (
+    "spawn", "hello", "lease", "expire", "worker_dead", "retry",
+    "speculate", "result", "quarantine", "breaker_open",
+    "breaker_probe", "breaker_close", "shutdown",
 )
 
 
@@ -256,6 +267,37 @@ class PoolRecord:
             row["leased"] = self.leased
         if self.idle is not None:
             row["idle"] = self.idle
+        return row
+
+
+@dataclass(frozen=True, slots=True)
+class DispatchRecord:
+    """One fleet-dispatch event (lease, retry, breaker, quarantine...).
+
+    ``t`` is host-side elapsed seconds since the dispatch log's epoch —
+    operational telemetry, deliberately *not* simulation time (the
+    dispatcher runs outside any simulation).  ``event`` is one of
+    :data:`DISPATCH_EVENTS`; the optional fields carry whatever the
+    event has on hand: the worker and host involved, the point label,
+    the attempt number, and a free-form ``detail`` (error signature,
+    breaker state, lease deadline...).
+    """
+
+    channel: ClassVar[str] = "dispatch"
+    t: float
+    event: str
+    worker: Optional[str] = None
+    host: Optional[str] = None
+    point: Optional[str] = None
+    attempt: Optional[int] = None
+    detail: Optional[str] = None
+
+    def row(self) -> dict[str, Any]:
+        row: dict[str, Any] = {"ch": "dispatch", "t": self.t, "event": self.event}
+        for key in ("worker", "host", "point", "attempt", "detail"):
+            value = getattr(self, key)
+            if value is not None:
+                row[key] = value
         return row
 
 

@@ -330,6 +330,43 @@ def bench_sweep_fanout_shm(scale: int) -> BenchRun:
     return _run_fanout(scale, "shm")
 
 
+def bench_dispatch_fanout(scale: int) -> BenchRun:
+    """Framed-socket sweep dispatch: protocol overhead, not bandwidth.
+
+    Fans ``scale`` quarter-megabyte points through the ``dispatch``
+    backend's length-prefixed frame protocol (task out, pickle-b64
+    result back, heartbeats throughout).  ``events`` counts frames
+    crossing the dispatcher, so ``events_per_sec`` reads as frame
+    throughput; wall-clock — which includes the fleet spawn, the price
+    a real multi-host sweep pays once — compares against
+    ``sweep_fanout`` to show what the fault-tolerance machinery costs
+    over a bare process pool.  Payloads are deliberately ~256 KiB: big
+    enough that frames carry real weight, small enough that the
+    protocol (not loopback bandwidth) dominates.
+    """
+    from repro.runner import SweepRunner, create_backend
+
+    backend = create_backend("dispatch")
+    params = _FanoutParams(n_points=scale, payload_bytes=256 * 1024)
+    runner = SweepRunner(
+        jobs=2,
+        cache=None,
+        backend=backend,
+        schedule="fifo",
+    )
+    payloads = runner.run(SWEEP_PAYLOAD, params, seed=1)
+    stats = runner.last_stats
+    if stats is None or stats.failures:  # pragma: no cover - sizing bug guard
+        raise RuntimeError("dispatch_fanout had failing points")
+    checksum = 0
+    for blob in payloads:
+        checksum = zlib.crc32(blob, checksum)
+    frames = backend.frames_sent + backend.frames_received
+    if frames < scale * 2:  # pragma: no cover - sizing bug guard
+        raise RuntimeError("dispatch_fanout moved fewer frames than points")
+    return BenchRun(frames, 0.0, checksum)
+
+
 def bench_session_arrivals(scale: int) -> BenchRun:
     """Open-loop schedule compilation: MMPP arrivals through sessions.
 
@@ -578,6 +615,13 @@ BENCHMARKS: tuple[BenchmarkSpec, ...] = (
         "sweep_fanout_shm",
         "the identical sweep on the shm backend (shared-memory transport)",
         bench_sweep_fanout_shm,
+        quick_scale=8,
+        full_scale=16,
+    ),
+    BenchmarkSpec(
+        "dispatch_fanout",
+        "quarter-MiB sweep through the dispatch backend's frame protocol",
+        bench_dispatch_fanout,
         quick_scale=8,
         full_scale=16,
     ),

@@ -17,7 +17,15 @@ out to a pluggable execution backend, with:
   experiment id, params, point, and seed, so re-runs of unchanged
   points are free;
 * per-point timeout and retry with graceful degradation to a partial
-  result set;
+  result set, governed by a shared
+  :class:`~repro.runner.dispatch.retry.RetryPolicy` that classifies
+  failures (transient / timeout / deterministic) and backs off with
+  deterministic seeded jitter;
+* a fault-tolerant multi-host backend (``dispatch``,
+  :mod:`repro.runner.dispatch`): socket workers with heartbeat leases,
+  error-classified retry, per-host circuit breakers, speculative
+  re-execution of stragglers, and quarantine of deterministically
+  failing points;
 * crash-safe checkpointing: an append-only, fsynced JSONL journal of
   completed points (:class:`~repro.runner.checkpoint.SweepCheckpoint`)
   that ``resume=True`` replays after a crash or Ctrl-C — under any
@@ -47,6 +55,16 @@ from repro.runner.backends import (
 )
 from repro.runner.cache import CostModel, ResultCache
 from repro.runner.checkpoint import SweepCheckpoint
+
+# Light imports by design: the exceptions and policy live in
+# repro.runner.dispatch.retry, which pulls no sockets or subprocesses.
+# The DispatchBackend itself is loaded lazily via create_backend.
+from repro.runner.dispatch.retry import (
+    DispatchError,
+    QuarantinedPoint,
+    RetryPolicy,
+    WorkerLost,
+)
 from repro.runner.engine import (
     PointFailure,
     SweepInterrupted,
@@ -57,12 +75,15 @@ from repro.runner.progress import ProgressReporter
 
 __all__ = [
     "CostModel",
+    "DispatchError",
     "LegacyExecutorBackend",
     "PointFailure",
     "PointSpec",
     "ProcessPoolBackend",
     "ProgressReporter",
+    "QuarantinedPoint",
     "ResultCache",
+    "RetryPolicy",
     "SerialBackend",
     "SharedMemoryBackend",
     "SweepBackend",
@@ -70,5 +91,6 @@ __all__ = [
     "SweepInterrupted",
     "SweepRunner",
     "SweepStats",
+    "WorkerLost",
     "create_backend",
 ]

@@ -1,23 +1,32 @@
 """Pluggable execution backends for :class:`~repro.runner.engine.SweepRunner`.
 
-Three first-class implementations ship with the runner:
+Four first-class implementations ship with the runner:
 
-========== ===================================================================
-``serial``  in-process, zero overhead, no registry requirement — the
-            debugging default under ``--jobs 1``
-``process`` :class:`~concurrent.futures.ProcessPoolExecutor` fan-out with
-            pickle result transport — the parallel default
-``shm``     process pool whose bulk result payloads travel through
-            ``multiprocessing.shared_memory`` segments instead of the
-            pickle pipe — for trace-heavy sweeps
-========== ===================================================================
+============ =================================================================
+``serial``    in-process, zero overhead, no registry requirement — the
+              debugging default under ``--jobs 1``
+``process``   :class:`~concurrent.futures.ProcessPoolExecutor` fan-out with
+              pickle result transport — the parallel default
+``shm``       process pool whose bulk result payloads travel through
+              ``multiprocessing.shared_memory`` segments instead of the
+              pickle pipe — for trace-heavy sweeps
+``dispatch``  fault-tolerant multi-host fleet over a socket frame
+              protocol: worker leases, error-classified retry,
+              quarantine, per-host circuit breakers
+              (:mod:`repro.runner.dispatch`)
+============ =================================================================
 
 plus :class:`LegacyExecutorBackend`, the adapter behind the deprecated
 ``SweepRunner(executor_factory=...)`` kwarg.  All backends honor the
 same determinism contract: byte-identical merged payloads for any
 backend and any ``--jobs``.  See :class:`~repro.runner.backends.base.SweepBackend`
-for the protocol and CONTRIBUTING.md for how to implement one (the seam
-future multi-host dispatchers plug into).
+for the protocol and CONTRIBUTING.md for how to implement one.
+
+``dispatch`` is registered lazily: naming it in :func:`create_backend`
+(or ``--backend dispatch``) imports the fleet machinery on demand, so
+single-process sweeps never pay for sockets and subprocess plumbing —
+and the import graph stays acyclic (the dispatch package itself builds
+on :mod:`repro.runner.backends.base`).
 """
 
 from repro.runner.backends.base import (
@@ -32,6 +41,7 @@ from repro.runner.backends.shm import SharedMemoryBackend
 
 __all__ = [
     "BACKENDS",
+    "LAZY_BACKENDS",
     "LegacyExecutorBackend",
     "PointSpec",
     "ProcessPoolBackend",
@@ -50,12 +60,19 @@ BACKENDS: dict[str, type[SweepBackend]] = {
     SharedMemoryBackend.name: SharedMemoryBackend,
 }
 
+#: backends resolved by import on first use (see module docstring).
+LAZY_BACKENDS: tuple[str, ...] = ("dispatch",)
+
 
 def create_backend(name: str, **kwargs: object) -> SweepBackend:
-    """Instantiate a named backend (``serial`` / ``process`` / ``shm``)."""
+    """Instantiate a named backend (``serial``/``process``/``shm``/``dispatch``)."""
+    if name in LAZY_BACKENDS:
+        from repro.runner.backends.dispatch import load_dispatch_backend
+
+        return load_dispatch_backend()(**kwargs)  # type: ignore[arg-type]
     try:
         cls = BACKENDS[name]
     except KeyError:
-        known = ", ".join(sorted(BACKENDS))
+        known = ", ".join(sorted((*BACKENDS, *LAZY_BACKENDS)))
         raise ValueError(f"unknown sweep backend {name!r} (known: {known})") from None
     return cls(**kwargs)  # type: ignore[arg-type]

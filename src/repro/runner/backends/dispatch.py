@@ -1,0 +1,25 @@
+"""Registry shim for the dispatch backend.
+
+The real implementation lives in :mod:`repro.runner.dispatch.backend`;
+this module exists so ``create_backend("dispatch")`` and the CLI's
+``--backend dispatch`` resolve through the same package as every other
+backend without importing sockets, selectors, and subprocess machinery
+into sweeps that never leave one process.  The import is deliberately
+lazy — see :func:`load_dispatch_backend`.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.runner.dispatch.backend import DispatchBackend as _DispatchBackend
+
+__all__ = ["load_dispatch_backend"]
+
+
+def load_dispatch_backend() -> "type[_DispatchBackend]":
+    """Import and return :class:`repro.runner.dispatch.backend.DispatchBackend`."""
+    from repro.runner.dispatch.backend import DispatchBackend
+
+    return DispatchBackend

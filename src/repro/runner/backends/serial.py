@@ -21,10 +21,14 @@ class SerialBackend(SweepBackend):
     directly, which is why this is the default under ``--jobs 1`` and
     the mode to use inside a debugger.
 
-    ``KeyboardInterrupt`` propagates out of ``submit`` (rather than
-    being captured on the future) so the runner's graceful-interrupt
-    contract — completed points already durable, partial payloads
-    raised as ``SweepInterrupted`` — is preserved.
+    Control-flow exceptions — ``KeyboardInterrupt``, ``SystemExit``,
+    ``GeneratorExit`` — propagate out of ``submit`` rather than being
+    captured on the future: capturing them would feed an interpreter-
+    level "stop now" into the retry loop as if it were a point failure
+    (re-running a point the user just cancelled, or swallowing a
+    ``sys.exit`` from experiment code).  Propagating preserves the
+    runner's graceful-interrupt contract — completed points already
+    durable, partial payloads raised as ``SweepInterrupted``.
     """
 
     name = "serial"
@@ -42,7 +46,7 @@ class SerialBackend(SweepBackend):
                 spec.experiment, spec.params, spec.point, spec.seed,
                 spec.params_digest,
             )
-        except KeyboardInterrupt:
+        except (KeyboardInterrupt, SystemExit, GeneratorExit):
             raise
         except BaseException as exc:  # noqa: BLE001 - runner owns retry policy
             future.set_exception(exc)

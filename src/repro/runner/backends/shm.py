@@ -35,7 +35,7 @@ import concurrent.futures
 import pickle
 from dataclasses import dataclass
 from multiprocessing import shared_memory
-from typing import Any
+from typing import Any, Callable
 
 from repro.runner.backends.base import PointSpec, _timed_execute, resolve_experiment
 from repro.runner.backends.pool import ProcessPoolBackend
@@ -53,6 +53,20 @@ class _ShmHandle:
 
     name: str
     size: int
+
+
+@dataclass
+class _PipeFallback:
+    """A bulk payload that *should* have traveled via shm but could not.
+
+    Wraps the value for the trip through the ordinary pickle pipe so
+    the parent can tell an intentional small-payload pipe ride from a
+    degraded one and count the latter (:attr:`SharedMemoryBackend.fallbacks`)
+    — the fallback is silent for correctness but must not be invisible
+    to operators benchmarking the fast path.
+    """
+
+    value: Any
 
 
 def _untrack(tracker_name: str) -> None:
@@ -89,7 +103,8 @@ def _shm_worker(
         segment = shared_memory.SharedMemory(create=True, size=len(blob))
     except OSError:
         # /dev/shm unavailable or full: the pickle pipe still works.
-        return seconds, value
+        # The wrapper lets the parent count the degradation.
+        return seconds, _PipeFallback(value)
     segment.buf[: len(blob)] = blob
     _untrack(segment._name)  # type: ignore[attr-defined]
     handle = _ShmHandle(segment.name, len(blob))
@@ -97,11 +112,17 @@ def _shm_worker(
     return seconds, handle
 
 
-def _decode(outcome: tuple[float, Any]) -> tuple[float, Any]:
-    """Rehydrate a worker outcome, consuming its shm segment if any."""
+def _decode(outcome: tuple[float, Any]) -> tuple[tuple[float, Any], bool]:
+    """Rehydrate a worker outcome, consuming its shm segment if any.
+
+    Returns ``(outcome, fell_back)`` — the second element is True when
+    the worker wanted a segment but had to ride the pipe.
+    """
     seconds, value = outcome
+    if isinstance(value, _PipeFallback):
+        return (seconds, value.value), True
     if not isinstance(value, _ShmHandle):
-        return outcome
+        return outcome, False
     segment = shared_memory.SharedMemory(name=value.name)
     try:
         decoded = pickle.loads(segment.buf[: value.size])
@@ -111,7 +132,7 @@ def _decode(outcome: tuple[float, Any]) -> tuple[float, Any]:
             segment.unlink()
         except FileNotFoundError:  # pragma: no cover - double-consume race
             pass
-    return seconds, decoded
+    return (seconds, decoded), False
 
 
 class _ShmFuture(concurrent.futures.Future):
@@ -125,9 +146,14 @@ class _ShmFuture(concurrent.futures.Future):
     segment is what prevents leaks.
     """
 
-    def __init__(self, inner: concurrent.futures.Future) -> None:
+    def __init__(
+        self,
+        inner: concurrent.futures.Future,
+        on_fallback: "Callable[[], None] | None" = None,
+    ) -> None:
         super().__init__()
         self._inner = inner
+        self._on_fallback = on_fallback
         inner.add_done_callback(self._transfer)
 
     def cancel(self) -> bool:
@@ -141,10 +167,12 @@ class _ShmFuture(concurrent.futures.Future):
         exc = inner.exception()
         if exc is None:
             try:
-                outcome = _decode(inner.result())
+                outcome, fell_back = _decode(inner.result())
             except BaseException as decode_exc:  # noqa: BLE001
                 exc = decode_exc
             else:
+                if fell_back and self._on_fallback is not None:
+                    self._on_fallback()
                 if not self.cancelled():
                     self.set_result(outcome)
                 return
@@ -167,6 +195,12 @@ class SharedMemoryBackend(ProcessPoolBackend):
         if threshold_bytes < 0:
             raise ValueError("threshold_bytes must be >= 0")
         self.threshold_bytes = int(threshold_bytes)
+        #: bulk payloads that degraded to the pickle pipe because a
+        #: segment could not be created (/dev/shm full or unavailable).
+        self.fallbacks = 0
+
+    def _note_fallback(self) -> None:
+        self.fallbacks += 1
 
     def submit(
         self, spec: PointSpec
@@ -181,4 +215,4 @@ class SharedMemoryBackend(ProcessPoolBackend):
             spec.seed,
             self.threshold_bytes,
         )
-        return _ShmFuture(inner)
+        return _ShmFuture(inner, self._note_fallback)

@@ -1,0 +1,103 @@
+"""Per-host circuit breakers for the dispatch fleet.
+
+A host that keeps killing workers (bad image, full disk, flaky network)
+must not be allowed to eat the retry budget of every point routed to
+it.  Each host gets one :class:`CircuitBreaker` with the classic three
+states:
+
+``closed``
+    Healthy.  Failures are counted; ``threshold`` *consecutive*
+    failures trip the breaker (any success resets the count).
+``open``
+    Drained.  No assignments and no respawns until ``cooldown``
+    seconds have passed, at which point the next :meth:`allows` call
+    transitions to half-open and admits exactly one probe.
+``half_open``
+    One probe in flight.  Its success closes the breaker (full reset);
+    its failure re-opens it for another full cooldown.
+
+The breaker takes its clock as a callable so tests drive the state
+machine with a fake clock instead of sleeping; production uses
+``time.monotonic`` (wall-clock-free, per simlint SIM002's allowance
+for host-side elapsed time).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+__all__ = ["CircuitBreaker"]
+
+
+class CircuitBreaker:
+    """Consecutive-failure breaker with half-open probing."""
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+    def __init__(
+        self,
+        threshold: int = 3,
+        cooldown: float = 5.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if threshold < 1:
+            raise ValueError("threshold must be >= 1")
+        if cooldown < 0:
+            raise ValueError("cooldown must be >= 0")
+        self.threshold = threshold
+        self.cooldown = cooldown
+        self._clock = clock
+        self.state = self.CLOSED
+        self.consecutive_failures = 0
+        #: total trips to open, for telemetry/stats.
+        self.opened_count = 0
+        self._opened_at = 0.0
+
+    def record_success(self) -> None:
+        """A unit of work on this host succeeded."""
+        self.consecutive_failures = 0
+        if self.state != self.CLOSED:
+            self.state = self.CLOSED
+
+    def record_failure(self) -> None:
+        """A unit of work on this host failed (crash, spawn error...)."""
+        self.consecutive_failures += 1
+        if self.state == self.HALF_OPEN:
+            # The probe itself failed: straight back to open.
+            self._trip()
+        elif (
+            self.state == self.CLOSED
+            and self.consecutive_failures >= self.threshold
+        ):
+            self._trip()
+
+    def _trip(self) -> None:
+        self.state = self.OPEN
+        self.opened_count += 1
+        self._opened_at = self._clock()
+
+    def allows(self) -> bool:
+        """May the host take work right now?
+
+        In ``open``, the first call after the cooldown admits a single
+        probe (transitioning to ``half_open``); in ``half_open`` the
+        outstanding probe blocks everything else until it resolves via
+        :meth:`record_success` / :meth:`record_failure`.
+        """
+        if self.state == self.CLOSED:
+            return True
+        if self.state == self.OPEN:
+            if self._clock() - self._opened_at >= self.cooldown:
+                self.state = self.HALF_OPEN
+                return True
+            return False
+        return False  # half_open: probe already outstanding
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<CircuitBreaker {self.state} "
+            f"failures={self.consecutive_failures}/{self.threshold}>"
+        )

@@ -1,0 +1,552 @@
+"""Chaos harness: prove dispatch fault tolerance end to end.
+
+The paper's sweeps (and any reproduction of them) are long enough that
+worker processes *will* die — OOM kills, preemptions, flaky hosts.  The
+dispatch backend claims to survive all of that without changing a
+single payload byte.  This module is the proof, runnable locally and in
+CI (``python -m repro.runner.dispatch.chaos``):
+
+``workers`` scenario
+    Run a sweep on the dispatch backend while a seeded killer thread
+    SIGKILLs at least three workers mid-task and SIGSTOPs another until
+    its lease expires.  The merged payload must be byte-identical
+    (``pickle`` bytes compared) to a clean serial run of the same
+    sweep, and the backend counters must show the carnage actually
+    happened (no vacuous pass).
+
+``dispatcher`` scenario
+    Run the same sweep in a child process journalling to a
+    :class:`~repro.runner.checkpoint.SweepCheckpoint`, ``SIGKILL`` the
+    *dispatcher* itself mid-sweep, then ``resume=True`` under the
+    serial backend.  The resumed payload must be byte-identical to a
+    clean serial run and the combined journal must hold every point
+    exactly once — no duplicates, no holes.
+
+The chaos experiment lives here (``repro.runner.dispatch.chaos:CHAOS``)
+rather than in the test tree so fresh worker processes can resolve it
+by import path with no ``PYTHONPATH`` help.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import hashlib
+import json
+import os
+import pickle
+
+# The killer's strike schedule is seeded explicitly per scenario and
+# never touches simulation state — harness randomness, not model
+# randomness, so the sim.randomness streams are deliberately not used.
+import random  # simlint: disable=SIM001
+import signal
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+from typing import Any, Optional, Sequence
+
+from repro.experiments.base import Experiment, Point
+
+__all__ = [
+    "CHAOS",
+    "ChaosExperiment",
+    "ChaosParams",
+    "WorkerKiller",
+    "chaos_dispatcher",
+    "chaos_workers",
+    "main",
+]
+
+
+# ----------------------------------------------------------------------
+# The chaos experiment
+# ----------------------------------------------------------------------
+@dataclasses.dataclass
+class ChaosParams:
+    """Sweep shape for the chaos runs.
+
+    ``sleep_s`` stretches each point so the killer has live leases to
+    destroy; the payload itself is a pure function of the point seed,
+    so however many times a point re-executes, every execution returns
+    the same bytes.
+    """
+
+    n_points: int = 32
+    sleep_s: float = 0.25
+    payload_words: int = 64
+
+    @classmethod
+    def paper(cls, **overrides: Any) -> "ChaosParams":
+        return cls(**overrides)
+
+    @classmethod
+    def quick(cls, **overrides: Any) -> "ChaosParams":
+        return cls(n_points=8, sleep_s=0.05, **overrides)
+
+
+class ChaosExperiment(Experiment):
+    """Deterministic sleepy points: seed in, stable blob out."""
+
+    id = "repro.runner.dispatch.chaos:CHAOS"
+    title = "dispatch chaos probe"
+    params_cls = ChaosParams
+
+    def points(self, params: ChaosParams) -> list[Point]:
+        return [Point(f"c{i:03d}", {"i": i}) for i in range(params.n_points)]
+
+    def run_point(
+        self, params: ChaosParams, point: Point, seed: int
+    ) -> dict[str, Any]:
+        if params.sleep_s > 0:
+            time.sleep(params.sleep_s)
+        digest = hashlib.sha256()
+        digest.update(str(seed).encode("ascii"))
+        words = []
+        for index in range(params.payload_words):
+            digest.update(str(index).encode("ascii"))
+            words.append(int.from_bytes(digest.digest()[:8], "big"))
+        return {"label": point.label, "seed": seed, "words": words}
+
+    def reduce(
+        self,
+        params: ChaosParams,
+        points: Sequence[Point],
+        results: Sequence[Any],
+    ) -> list[Any]:
+        return list(results)
+
+
+CHAOS = ChaosExperiment()
+
+
+# ----------------------------------------------------------------------
+# The worker killer
+# ----------------------------------------------------------------------
+class WorkerKiller(threading.Thread):
+    """Seeded background assassin targeting workers with *live leases*.
+
+    Python workers take the better part of a second to import and say
+    hello; signals fired on a wall-clock schedule mostly hit processes
+    that have not run a single point yet, which proves nothing.  The
+    killer therefore cross-references the backend's pid-file roster
+    (``<worker> <pid>`` lines) with its :class:`~repro.obs.dispatch.DispatchLog`
+    and only strikes workers that are **currently executing a task**:
+    every SIGKILL destroys a live lease (the transient-retry path) and
+    every SIGSTOP wedges one (the lease-expiry path).  Victim choice
+    and spacing are drawn from ``random.Random(seed)``; respawned
+    workers append fresh roster lines, so late strikes hit
+    replacements too — exactly the churn a real fleet sees.
+
+    Stops are scheduled before kills: a wedged worker needs the most
+    remaining sweep runway for its lease to expire mid-run.
+    """
+
+    def __init__(
+        self,
+        pid_file: Path,
+        log: Any,
+        kills: int = 3,
+        stops: int = 1,
+        seed: int = 0,
+        spacing: float = 0.3,
+        victim_timeout: float = 30.0,
+    ) -> None:
+        super().__init__(name="worker-killer", daemon=True)
+        self.pid_file = Path(pid_file)
+        self.log = log
+        self.kills = int(kills)
+        self.stops = int(stops)
+        self.rng = random.Random(seed)
+        self.spacing = float(spacing)
+        self.victim_timeout = float(victim_timeout)
+        self.killed: list[int] = []
+        self.stopped: list[int] = []
+        self._halt = threading.Event()
+
+    def _roster(self) -> dict[str, int]:
+        """Worker name -> pid, last roster line winning (respawns reuse
+        neither, but a torn read should not crash the killer)."""
+        try:
+            text = self.pid_file.read_text(encoding="utf-8")
+        except OSError:
+            return {}
+        roster: dict[str, int] = {}
+        for line in text.splitlines():
+            parts = line.split()
+            if len(parts) == 2 and parts[1].isdigit():
+                roster[parts[0]] = int(parts[1])
+        return roster
+
+    def _busy_workers(self) -> list[str]:
+        """Workers holding a lease right now: leased more often than
+        they have reported results, per the dispatch log."""
+        leases: dict[str, int] = {}
+        for record in self.log.records():
+            if record.worker is None:
+                continue
+            if record.event == "lease":
+                leases[record.worker] = leases.get(record.worker, 0) + 1
+            elif record.event == "result":
+                leases[record.worker] = leases.get(record.worker, 0) - 1
+            elif record.event in ("expire", "worker_dead"):
+                leases.pop(record.worker, None)
+        return [name for name, held in leases.items() if held > 0]
+
+    def _pick_busy(self) -> Optional[int]:
+        harmed = set(self.killed) | set(self.stopped)
+        roster = self._roster()
+        candidates = [
+            roster[name]
+            for name in self._busy_workers()
+            if name in roster and roster[name] not in harmed
+        ]
+        if not candidates:
+            return None
+        return self.rng.choice(candidates)
+
+    def _signal(self, pid: int, signum: int) -> bool:
+        try:
+            os.kill(pid, signum)
+        except ProcessLookupError:
+            return False
+        return True
+
+    def run(self) -> None:
+        plan = ["stop"] * self.stops + ["kill"] * self.kills
+        for action in plan:
+            deadline = time.monotonic() + self.victim_timeout
+            while not self._halt.is_set():
+                pid = self._pick_busy()
+                if pid is not None:
+                    signum = (
+                        signal.SIGKILL if action == "kill" else signal.SIGSTOP
+                    )
+                    if self._signal(pid, signum):
+                        target = (
+                            self.killed if action == "kill" else self.stopped
+                        )
+                        target.append(pid)
+                        break
+                if time.monotonic() > deadline:
+                    return
+                self._halt.wait(0.02)
+            if self._halt.is_set():
+                return
+            self._halt.wait(self.spacing * (0.5 + self.rng.random()))
+
+    def halt(self) -> None:
+        """Stop scheduling further harm and release any SIGSTOPped pid.
+
+        SIGKILL works on stopped processes, so the backend's teardown
+        reaps them regardless; the SIGCONT here just avoids leaving a
+        stopped orphan if teardown already detached it."""
+        self._halt.set()
+        for pid in self.stopped:
+            self._signal(pid, signal.SIGCONT)
+
+
+# ----------------------------------------------------------------------
+# Scenario plumbing
+# ----------------------------------------------------------------------
+def _payload_bytes(payload: Any) -> bytes:
+    """Canonical bytes for a reduced payload: one pickle per point.
+
+    Pickling the whole list would be identity-sensitive: the pickler
+    memoizes repeated *objects*, so a serial run (whose ten dicts share
+    the interned key strings) and a dispatch run (whose dicts each came
+    out of their own unpickle) serialize *equal* payloads to different
+    bytes.  Per-point pickling is exactly the journal's encoding, and
+    within one point there are no repeated objects to memoize.
+    """
+    return b"".join(
+        pickle.dumps(item, protocol=pickle.HIGHEST_PROTOCOL)
+        for item in payload
+    )
+
+
+def _serial_reference(params: ChaosParams, seed: int) -> bytes:
+    """The ground truth: the sweep's payload bytes under serial."""
+    from repro.runner.engine import SweepRunner
+
+    quiet = dataclasses.replace(params, sleep_s=0.0)
+    runner = SweepRunner(jobs=1, backend="serial")
+    return _payload_bytes(runner.run(CHAOS, quiet, seed=seed))
+
+
+def chaos_workers(
+    seed: int = 0,
+    params: Optional[ChaosParams] = None,
+    kills: int = 3,
+    stops: int = 1,
+    jobs: int = 4,
+    lease_timeout: float = 2.0,
+    verbose: bool = True,
+) -> dict[str, Any]:
+    """Scenario 1: SIGKILL/SIGSTOP workers mid-sweep, compare to serial.
+
+    Returns a report dict; ``report["ok"]`` is the verdict.  Raises
+    nothing on mismatch — the CLI turns the verdict into an exit code
+    so CI logs carry the full report either way.
+    """
+    from repro.runner.dispatch.backend import DispatchBackend
+    from repro.runner.engine import SweepRunner
+
+    params = params if params is not None else ChaosParams()
+    expected = _serial_reference(params, seed)
+    with tempfile.TemporaryDirectory(prefix="repro-chaos-") as tmp:
+        pid_file = Path(tmp) / "fleet.pids"
+        backend = DispatchBackend(
+            lease_timeout=lease_timeout,
+            heartbeat_interval=0.25,
+            pid_file=pid_file,
+        )
+        killer = WorkerKiller(
+            pid_file, backend.log, kills=kills, stops=stops, seed=seed
+        )
+        runner = SweepRunner(jobs=jobs, backend=backend)
+        killer.start()
+        try:
+            payload = runner.run(CHAOS, params, seed=seed)
+        finally:
+            killer.halt()
+            killer.join(timeout=5.0)
+        got = _payload_bytes(payload)
+        stats = runner.last_stats
+        report = {
+            "scenario": "workers",
+            "ok": got == expected,
+            "byte_identical": got == expected,
+            "workers_killed": len(killer.killed),
+            "workers_stopped": len(killer.stopped),
+            "transient_retries": stats.transient_retries if stats else 0,
+            "lease_expirations": stats.lease_expirations if stats else 0,
+            "failures": len(stats.failures) if stats else -1,
+        }
+        # The chaos must have actually happened, or the pass is vacuous:
+        # every strike targeted a live lease, so kills must show up as
+        # transient retries and stops as lease expiries.
+        if report["workers_killed"] < kills or report["workers_stopped"] < stops:
+            report["ok"] = False
+            report["error"] = "killer could not land its full schedule"
+        if stats is not None and stats.failures:
+            report["ok"] = False
+            report["error"] = "sweep recorded point failures under chaos"
+        if stats is not None and kills and stats.transient_retries < 1:
+            report["ok"] = False
+            report["error"] = "SIGKILLed leases produced no transient retries"
+        if stats is not None and stats.lease_expirations < stops:
+            report["ok"] = False
+            report["error"] = "SIGSTOPped worker never expired its lease"
+    if verbose:
+        print(json.dumps(report, sort_keys=True), file=sys.stderr)
+    return report
+
+
+def _journal_keys(journal_path: Path) -> list[tuple[str, str, int, str]]:
+    """Result-record keys in journal order (headers and torn tails skipped)."""
+    keys: list[tuple[str, str, int, str]] = []
+    try:
+        lines = journal_path.read_text(encoding="utf-8").splitlines()
+    except OSError:
+        return keys
+    for line in lines:
+        try:
+            doc = json.loads(line)
+        except ValueError:
+            continue
+        if not isinstance(doc, dict) or "result" not in doc:
+            continue
+        keys.append(
+            (
+                str(doc.get("experiment", "")),
+                str(doc.get("label", "")),
+                int(doc.get("seed", 0)),
+                str(doc.get("params", "")),
+            )
+        )
+    return keys
+
+
+_CHILD_FLAG = "--run-child-sweep"
+
+
+def _child_sweep(
+    journal: Path, seed: int, n_points: int, sleep_s: float, payload_words: int
+) -> int:
+    """The dispatcher process the ``dispatcher`` scenario murders."""
+    from repro.runner.checkpoint import SweepCheckpoint
+    from repro.runner.dispatch.backend import DispatchBackend
+    from repro.runner.engine import SweepRunner
+
+    params = ChaosParams(
+        n_points=n_points, sleep_s=sleep_s, payload_words=payload_words
+    )
+    backend = DispatchBackend(lease_timeout=5.0, heartbeat_interval=0.25)
+    runner = SweepRunner(
+        jobs=4,
+        backend=backend,
+        checkpoint=SweepCheckpoint(journal),
+    )
+    runner.run(CHAOS, params, seed=seed)
+    return 0
+
+
+def chaos_dispatcher(
+    seed: int = 0,
+    params: Optional[ChaosParams] = None,
+    min_points_before_kill: int = 4,
+    verbose: bool = True,
+) -> dict[str, Any]:
+    """Scenario 2: SIGKILL the dispatcher itself, resume under serial."""
+    from repro.runner.checkpoint import SweepCheckpoint
+    from repro.runner.engine import SweepRunner
+
+    params = params if params is not None else ChaosParams()
+    expected = _serial_reference(params, seed)
+    with tempfile.TemporaryDirectory(prefix="repro-chaos-") as tmp:
+        journal = Path(tmp) / "sweep.jsonl"
+        child = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro.runner.dispatch.chaos",
+                _CHILD_FLAG,
+                "--journal", str(journal),
+                "--seed", str(seed),
+                "--points", str(params.n_points),
+                "--sleep", str(params.sleep_s),
+                "--words", str(params.payload_words),
+            ],
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL,
+            start_new_session=True,
+        )
+        # Wait until the journal proves real progress, then murder the
+        # dispatcher at full speed — workers become orphans and their
+        # heartbeat writes fail, so they self-reap (os._exit in
+        # worker.py); the journal keeps whatever was durable.
+        deadline = time.monotonic() + 60.0
+        while time.monotonic() < deadline:
+            if len(_journal_keys(journal)) >= min_points_before_kill:
+                break
+            if child.poll() is not None:
+                break
+            time.sleep(0.05)
+        premature = child.poll() is not None
+        if not premature:
+            os.kill(child.pid, signal.SIGKILL)
+        child.wait(timeout=30.0)
+        keys_before = _journal_keys(journal)
+
+        resume_runner = SweepRunner(
+            jobs=1,
+            backend="serial",
+            checkpoint=SweepCheckpoint(journal),
+            resume=True,
+        )
+        # Same params as the killed run: the journal key folds in the
+        # params digest, so resuming with different params would replay
+        # nothing.  The sleep only costs the unfinished remainder.
+        payload = resume_runner.run(CHAOS, params, seed=seed)
+        got = _payload_bytes(payload)
+        stats = resume_runner.last_stats
+        keys_after = _journal_keys(journal)
+        report = {
+            "scenario": "dispatcher",
+            "ok": got == expected,
+            "byte_identical": got == expected,
+            "points_journalled_before_kill": len(keys_before),
+            "points_resumed": stats.resumed if stats else -1,
+            "points_executed_after_resume": stats.executed if stats else -1,
+            "journal_records": len(keys_after),
+            "journal_unique": len(set(keys_after)),
+        }
+        if premature:
+            report["ok"] = False
+            report["error"] = "child sweep finished before the kill landed"
+        if len(keys_before) < min_points_before_kill:
+            report["ok"] = False
+            report["error"] = "dispatcher died with too little progress"
+        if len(keys_after) != len(set(keys_after)):
+            report["ok"] = False
+            report["error"] = "journal holds duplicate point records"
+        if len(set(keys_after)) != params.n_points:
+            report["ok"] = False
+            report["error"] = (
+                f"journal holds {len(set(keys_after))} unique points, "
+                f"expected {params.n_points}"
+            )
+        if stats is not None and stats.resumed != len(keys_before):
+            report["ok"] = False
+            report["error"] = "resume replayed a different set than journalled"
+    if verbose:
+        print(json.dumps(report, sort_keys=True), file=sys.stderr)
+    return report
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.runner.dispatch.chaos",
+        description="chaos-test the dispatch backend (see module docstring)",
+    )
+    parser.add_argument(
+        "--mode",
+        choices=("workers", "dispatcher", "all"),
+        default="all",
+        help="which scenario to run (default: all)",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--points", type=int, default=24)
+    parser.add_argument("--sleep", type=float, default=0.2)
+    parser.add_argument("--words", type=int, default=64)
+    parser.add_argument("--kills", type=int, default=3)
+    parser.add_argument("--stops", type=int, default=1)
+    parser.add_argument(
+        _CHILD_FLAG,
+        dest="run_child_sweep",
+        action="store_true",
+        help=argparse.SUPPRESS,
+    )
+    parser.add_argument("--journal", type=str, default="")
+    args = parser.parse_args(argv)
+
+    # ``python -m`` loads this file as ``__main__`` — but workers
+    # unpickle params by qualified class name, so everything below must
+    # use the canonical module object, not the ``__main__`` alias.
+    from repro.runner.dispatch import chaos as canonical
+
+    if args.run_child_sweep:
+        if not args.journal:
+            parser.error(f"{_CHILD_FLAG} requires --journal")
+        return canonical._child_sweep(
+            Path(args.journal), args.seed, args.points, args.sleep, args.words
+        )
+
+    params = canonical.ChaosParams(
+        n_points=args.points, sleep_s=args.sleep, payload_words=args.words
+    )
+    reports = []
+    if args.mode in ("workers", "all"):
+        reports.append(
+            canonical.chaos_workers(
+                seed=args.seed, params=params,
+                kills=args.kills, stops=args.stops,
+            )
+        )
+    if args.mode in ("dispatcher", "all"):
+        reports.append(canonical.chaos_dispatcher(seed=args.seed, params=params))
+    ok = all(report["ok"] for report in reports)
+    print(
+        "chaos: " + ("PASS" if ok else "FAIL")
+        + " (" + ", ".join(r["scenario"] for r in reports) + ")"
+    )
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    raise SystemExit(main())

@@ -25,14 +25,23 @@ cold sweep behaves exactly as before.  Because merge is by point
 index, reordering can never change payloads; ``schedule="fifo"``
 disables it anyway for A/B timing.
 
-Failure contract: a point that keeps raising after ``retries``
-re-submissions (or times out) degrades to a ``None`` result; ``reduce``
-receives the partial result set and the failures are recorded on
-:attr:`SweepRunner.last_stats`.  A timed-out point's worker cannot be
-forcibly killed — the retry runs concurrently with the straggler, the
-runner then waits on *all* of that point's submissions, and whichever
-earliest-submitted attempt completes successfully wins (so the outcome
-does not depend on the race); extra completed successes are counted in
+Failure contract: every failed attempt is classified through the shared
+:class:`~repro.runner.dispatch.retry.RetryPolicy` — *transient* faults
+(worker crashes, broken pools, connection resets) are retried against a
+separate, more generous budget than the point's own ``max_attempts``;
+*timeouts* trigger speculative resubmission (the straggler keeps
+running, and whichever earliest-submitted attempt completes
+successfully wins, so the outcome does not depend on the race); and
+*deterministic* errors retry with seeded exponential backoff until the
+budget runs out.  A point that exhausts its budgets degrades to a
+``None`` result; ``reduce`` receives the partial result set and the
+failures — with their classification — are recorded on
+:attr:`SweepRunner.last_stats`, split into :attr:`SweepStats.timeouts`
+and :attr:`SweepStats.errors`.  Dispatch-terminal failures
+(:class:`~repro.runner.dispatch.retry.QuarantinedPoint`,
+:class:`~repro.runner.dispatch.retry.DispatchError`) are never retried
+here: the dispatch backend already spent its own budgets on them.
+Extra completed successes are counted in
 :attr:`SweepStats.duplicate_results`.
 
 Crash contract: give the runner a
@@ -67,6 +76,15 @@ from repro.runner.backends import (
 )
 from repro.runner.cache import CostModel, ResultCache
 from repro.runner.checkpoint import SweepCheckpoint, digest_params
+from repro.runner.dispatch.retry import (
+    DETERMINISTIC,
+    TIMEOUT,
+    TRANSIENT,
+    DispatchError,
+    QuarantinedPoint,
+    RetryPolicy,
+    classify_failure,
+)
 from repro.runner.progress import ProgressReporter
 from repro.sim.randomness import derive_seed
 
@@ -83,12 +101,19 @@ __all__ = [
 
 @dataclass
 class PointFailure:
-    """A point that produced no result after all attempts."""
+    """A point that produced no result after all attempts.
+
+    ``kind`` is the final failure's classification: ``"timeout"``,
+    ``"transient"`` (every attempt lost its worker), ``"quarantined"``
+    (the dispatch backend proved the failure deterministic across two
+    workers), or ``"deterministic"`` (the point's own exception).
+    """
 
     experiment_id: str
     label: str
     error: str
     attempts: int
+    kind: str = DETERMINISTIC
 
 
 @dataclass
@@ -114,6 +139,23 @@ class SweepStats:
     reordered: int = 0
     failures: list[PointFailure] = field(default_factory=list)
     elapsed: float = 0.0
+    #: timeout events: points that ultimately failed by timing out,
+    #: plus speculative duplicates the dispatch backend launched for
+    #: overdue leases.
+    timeouts: int = 0
+    #: points that ultimately failed with an error (any non-timeout
+    #: kind: deterministic exceptions, exhausted transient budgets,
+    #: quarantines).
+    errors: int = 0
+    #: retries caused by environmental faults — worker crashes, broken
+    #: pools, lease expiries — which never consume a point's own
+    #: attempt budget.
+    transient_retries: int = 0
+    #: points the dispatch backend quarantined (same failure signature
+    #: from two distinct workers); always ⊆ ``errors``.
+    quarantined: int = 0
+    #: dispatch leases forfeited because a worker stopped heartbeating.
+    lease_expirations: int = 0
 
 
 class SweepInterrupted(KeyboardInterrupt):
@@ -200,7 +242,14 @@ class SweepRunner:
         Seconds to wait for one point's result before retrying/failing
         it, or None to wait forever.  Enforced only on pool backends.
     retries:
-        Re-submissions after a point raises or times out.
+        Re-submissions after a point raises or times out.  Shorthand
+        for the common case; ``retry_policy`` supersedes it.
+    retry_policy:
+        A :class:`~repro.runner.dispatch.retry.RetryPolicy` governing
+        attempt budgets, the separate transient budget, and backoff
+        with deterministic seeded jitter.  None derives a policy from
+        ``retries`` with zero backoff delay — exactly the historical
+        behavior.
     progress:
         True to print per-point progress/ETA lines to stderr, or a
         :class:`~repro.runner.progress.ProgressReporter` to customize.
@@ -233,6 +282,7 @@ class SweepRunner:
         cache: Optional[ResultCache] = None,
         timeout: Optional[float] = None,
         retries: int = 1,
+        retry_policy: Optional[RetryPolicy] = None,
         progress: Any = False,
         label: str = "sweep",
         checkpoint: Optional[SweepCheckpoint] = None,
@@ -255,6 +305,16 @@ class SweepRunner:
         self.cache = cache
         self.timeout = timeout
         self.retries = max(0, int(retries))
+        #: the classification/backoff policy; the legacy ``retries``
+        #: knob derives one with no backoff so existing sweeps keep
+        #: their exact timing.
+        self.retry_policy = (
+            retry_policy
+            if retry_policy is not None
+            else RetryPolicy(
+                max_attempts=self.retries + 1, base_delay=0.0, jitter=0.0
+            )
+        )
         if isinstance(progress, ProgressReporter):
             self._reporter: Optional[ProgressReporter] = progress
         elif progress:
@@ -485,18 +545,64 @@ class SweepRunner:
         self._point_done(entry)
 
     def _fail(
-        self, entry: _Entry, error: str, attempts: int, stats: SweepStats
+        self,
+        entry: _Entry,
+        error: str,
+        attempts: int,
+        stats: SweepStats,
+        kind: str = DETERMINISTIC,
     ) -> None:
         stats.failures.append(
-            PointFailure(entry.experiment.id, entry.point.label, error, attempts)
+            PointFailure(
+                entry.experiment.id, entry.point.label, error, attempts, kind
+            )
         )
-        self._point_done(entry, failed=True)
+        if kind == TIMEOUT:
+            stats.timeouts += 1
+        else:
+            stats.errors += 1
+        self._point_done(entry, failed=True, kind=kind)
 
     def _point_done(
-        self, entry: _Entry, cached: bool = False, failed: bool = False
+        self,
+        entry: _Entry,
+        cached: bool = False,
+        failed: bool = False,
+        kind: str = "",
     ) -> None:
         if self._reporter is not None:
-            self._reporter.point_done(entry.point.label, cached=cached, failed=failed)
+            self._reporter.point_done(
+                entry.point.label, cached=cached, failed=failed, kind=kind
+            )
+
+    @staticmethod
+    def _terminal_kind(exc: BaseException) -> Optional[str]:
+        """The failure kind for dispatch-terminal exceptions, else None.
+
+        The dispatch backend already spent its own retry/transient
+        budgets before raising these; wrapping another retry loop
+        around them would multiply budgets, so the engine records them
+        and moves on.
+        """
+        if isinstance(exc, QuarantinedPoint):
+            return "quarantined"
+        if isinstance(exc, DispatchError):
+            return DETERMINISTIC
+        return None
+
+    def _merge_backend_stats(
+        self, backend: SweepBackend, stats: SweepStats
+    ) -> None:
+        """Fold a backend's internal counters into the sweep stats."""
+        collect = getattr(backend, "collect_stats", None)
+        if not callable(collect):
+            return
+        collected = collect()
+        stats.transient_retries += int(collected.get("transient_retries", 0))
+        stats.lease_expirations += int(collected.get("lease_expirations", 0))
+        stats.timeouts += int(collected.get("timeouts", 0))
+        stats.quarantined += int(collected.get("quarantined", 0))
+        stats.duplicate_results += int(collected.get("duplicate_results", 0))
 
     def _dispatch(
         self,
@@ -508,15 +614,24 @@ class SweepRunner:
         backend = self._resolve_backend(len(pending))
         pending = self._ordered(pending, stats)
         stats.backend = backend.name
+        # Open before the header write: a dispatch backend only knows
+        # its worker roster once the fleet is up, and the journal header
+        # should name the fleet that wrote the records after it.
+        backend.open(min(self.jobs, len(pending)))
         if self.checkpoint is not None:
             self.checkpoint.write_header(
-                backend=backend.name, jobs=self.jobs, schedule=self.schedule
+                backend=backend.name,
+                jobs=self.jobs,
+                schedule=self.schedule,
+                workers=getattr(backend, "worker_roster", ()),
             )
-        backend.open(min(self.jobs, len(pending)))
-        if backend.inline:
-            self._drain_inline(backend, pending, results, stats)
-        else:
-            self._drain_pool(backend, pending, results, stats)
+        try:
+            if backend.inline:
+                self._drain_inline(backend, pending, results, stats)
+            else:
+                self._drain_pool(backend, pending, results, stats)
+        finally:
+            self._merge_backend_stats(backend, stats)
 
     def _drain_inline(
         self,
@@ -527,10 +642,16 @@ class SweepRunner:
     ) -> None:
         """Lazy submission for inline backends: each point's result is
         recorded (and journalled) before the next point starts."""
+        policy = self.retry_policy
         for entry in pending:
-            attempts = 0
+            schedule = policy.schedule(
+                f"{entry.experiment.id}/{entry.point.label}"
+            )
+            failed_attempts = 0
+            transient_used = 0
+            total_attempts = 0
             while True:
-                attempts += 1
+                total_attempts += 1
                 # KeyboardInterrupt propagates out of submit: completed
                 # points are already durable, the rest never started.
                 future = backend.submit(entry.spec())
@@ -539,11 +660,31 @@ class SweepRunner:
                     seconds, value = future.result()
                     self._record(entry, seconds, value, results, stats)
                     break
-                if attempts > self.retries:
-                    self._fail(
-                        entry, f"{type(exc).__name__}: {exc}", attempts, stats
-                    )
+                error = f"{type(exc).__name__}: {exc}"
+                terminal = self._terminal_kind(exc)
+                if terminal is not None:
+                    self._fail(entry, error, total_attempts, stats,
+                               kind=terminal)
                     break
+                kind = classify_failure(exc)
+                if kind == TRANSIENT:
+                    # Environmental faults draw on the transient budget,
+                    # never the point's own attempts.
+                    if policy.allows_transient(transient_used):
+                        transient_used += 1
+                        stats.transient_retries += 1
+                        continue
+                    self._fail(entry, error, total_attempts, stats,
+                               kind=TRANSIENT)
+                    break
+                failed_attempts += 1
+                if policy.allows(failed_attempts + 1):
+                    delay = schedule.delay(failed_attempts)
+                    if delay > 0:
+                        time.sleep(delay)
+                    continue
+                self._fail(entry, error, total_attempts, stats, kind=kind)
+                break
 
     def _drain_pool(
         self,
@@ -565,8 +706,17 @@ class SweepRunner:
                 id(entry): [backend.submit(entry.spec())]
                 for entry in pending
             }
+            policy = self.retry_policy
             for entry in pending:
                 attempts = futures[id(entry)]
+                #: futures whose failure has already been classified —
+                #: each failed attempt must be charged to a budget
+                #: exactly once, however many drain iterations see it.
+                counted: set[int] = set()
+                last_error: Optional[str] = None
+                last_kind: str = DETERMINISTIC
+                transient_used = 0
+                terminal = False
                 while True:
                     # Wait only on attempts not yet finished — waiting on
                     # the full list would return immediately forever once
@@ -577,17 +727,32 @@ class SweepRunner:
                         done_now = backend.drain(unfinished, timeout=self.timeout)
                         progressed = bool(done_now)
                     winner = None
-                    error = None
+                    transient_new = 0
+                    failed_new = 0
                     for future in attempts:  # submission order
                         if not future.done() or future.cancelled():
                             continue
                         exc = future.exception()
-                        if exc is not None:
-                            error = f"{type(exc).__name__}: {exc}"
-                        elif winner is None:
-                            winner = future
+                        if exc is None:
+                            if winner is None:
+                                winner = future
+                            else:
+                                stats.duplicate_results += 1
+                            continue
+                        if id(future) in counted:
+                            continue
+                        counted.add(id(future))
+                        last_error = f"{type(exc).__name__}: {exc}"
+                        terminal_kind = self._terminal_kind(exc)
+                        if terminal_kind is not None:
+                            last_kind = terminal_kind
+                            terminal = True
+                            continue
+                        last_kind = classify_failure(exc)
+                        if last_kind == TRANSIENT:
+                            transient_new += 1
                         else:
-                            stats.duplicate_results += 1
+                            failed_new += 1
                     if winner is not None:
                         seconds, value = winner.result()
                         self._record(entry, seconds, value, results, stats)
@@ -596,10 +761,39 @@ class SweepRunner:
                             if not future.done()
                         )
                         break
+                    if terminal:
+                        # The dispatch backend already spent its own
+                        # budgets on this point — record and move on.
+                        for future in attempts:
+                            if not future.done():
+                                future.cancel()
+                        self._fail(entry, last_error or "dispatch failure",
+                                   len(attempts), stats, kind=last_kind)
+                        break
                     timed_out = bool(unfinished) and not progressed
                     if timed_out:
-                        error = f"timed out after {self.timeout}s"
-                    if len(attempts) <= self.retries:
+                        last_error = f"timed out after {self.timeout}s"
+                        last_kind = TIMEOUT
+                    resubmit = False
+                    if transient_new and policy.allows_transient(transient_used):
+                        # Environmental faults (worker death, broken
+                        # pool) draw on the transient budget, never the
+                        # point's own attempts.
+                        transient_used += 1
+                        stats.transient_retries += 1
+                        resubmit = True
+                    elif failed_new or timed_out:
+                        # Attempts charged against the point's own
+                        # budget exclude the transient ones above —
+                        # exactly the historical `attempts <= retries`
+                        # gate when no transients occurred.
+                        budget_used = len(attempts) - transient_used
+                        resubmit = policy.allows(budget_used + 1)
+                    if resubmit:
+                        # No backoff sleep here: it would serialize the
+                        # drain loop across unrelated entries.  The
+                        # dispatch backend delays its internal retries;
+                        # pool retries go straight back to a free slot.
                         try:
                             attempts.append(backend.submit(entry.spec()))
                         except Exception as exc:  # pool broken beyond repair
@@ -621,7 +815,8 @@ class SweepRunner:
                         continue
                     for future in still_running:
                         future.cancel()
-                    self._fail(entry, error or "no result", len(attempts), stats)
+                    self._fail(entry, last_error or "no result",
+                               len(attempts), stats, kind=last_kind)
                     break
         except KeyboardInterrupt:
             # Don't block the Ctrl-C on stragglers: drop queued work and

@@ -1,0 +1,295 @@
+"""End-to-end tests for the dispatch backend's fleet behavior.
+
+Each test runs a real sweep through real worker subprocesses, using the
+failure-injection toys in ``dispatch_toys.py`` (importable by workers
+via ``extra_sys_path``).  Covered here: byte-identical equivalence with
+the serial backend, transient retry after a worker crash, deterministic
+retry of a flaky point, quarantine after two distinct workers agree on
+a failure, lease expiry for a SIGSTOPped worker, timeout speculation,
+and the stats/roster/telemetry plumbing.  The full chaos storm (many
+kills, dispatcher kill -9 + resume) lives in test_dispatch_chaos.py.
+"""
+
+import json
+import os
+import signal
+import sys
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+TESTS_DIR = str(Path(__file__).resolve().parent)
+# The toys must import as top-level ``dispatch_toys`` — the same name
+# workers resolve via ``extra_sys_path`` — so params pickled here
+# unpickle there.  (``tests`` is a package, so pytest would otherwise
+# import them as ``tests.dispatch_toys``.)
+if TESTS_DIR not in sys.path:
+    sys.path.insert(0, TESTS_DIR)
+import dispatch_toys  # noqa: E402
+
+from repro.experiments.store import to_jsonable  # noqa: E402
+from repro.runner import RetryPolicy, SweepCheckpoint, SweepRunner  # noqa: E402
+from repro.runner.dispatch.backend import DispatchBackend  # noqa: E402
+
+pytestmark = pytest.mark.filterwarnings("ignore::ResourceWarning")
+
+
+def _backend(tmp_path, **overrides):
+    kwargs = dict(
+        lease_timeout=5.0,
+        heartbeat_interval=0.25,
+        quarantine_path=tmp_path / "quarantine.jsonl",
+        pid_file=tmp_path / "workers.pid",
+        extra_sys_path=(TESTS_DIR,),
+    )
+    kwargs.update(overrides)
+    return DispatchBackend(**kwargs)
+
+
+def _run(experiment, params, backend, journal, jobs=2, seed=3, **runner_kw):
+    runner = SweepRunner(
+        jobs=jobs,
+        cache=None,
+        backend=backend,
+        checkpoint=SweepCheckpoint(journal),
+        **runner_kw,
+    )
+    payload = runner.run(experiment, params, seed=seed)
+    return payload, runner.last_stats
+
+
+def _journal_point_lines(path):
+    lines = [
+        line
+        for line in Path(path).read_text().splitlines()
+        if line and '"result"' in line
+    ]
+    return sorted(lines)
+
+
+def _pids(pid_file):
+    """{worker name: pid} from the backend's pid file."""
+    table = {}
+    for line in Path(pid_file).read_text().splitlines():
+        name, _, pid = line.partition(" ")
+        if pid.strip().isdigit():
+            table[name] = int(pid)
+    return table
+
+
+class TestEquivalence:
+    def test_payload_and_journal_byte_identical_to_serial(self, tmp_path):
+        params = dispatch_toys.ToyParams(n_points=6)
+        serial_journal = tmp_path / "serial.jsonl"
+        ref_payload, ref_stats = _run(
+            dispatch_toys.ECHO, params, "serial", serial_journal
+        )
+
+        dispatch_journal = tmp_path / "dispatch.jsonl"
+        backend = _backend(tmp_path)
+        payload, stats = _run(
+            dispatch_toys.ECHO, params, backend, dispatch_journal
+        )
+        assert to_jsonable(payload) == to_jsonable(ref_payload)
+        # Journal records hold base64 pickles: byte-identical lines mean
+        # the results that crossed the wire are byte-identical, not
+        # merely equal after unpickling.
+        assert _journal_point_lines(dispatch_journal) == _journal_point_lines(
+            serial_journal
+        )
+        assert stats.failures == []
+        assert stats.backend == "dispatch"
+
+    def test_journal_header_records_worker_roster(self, tmp_path):
+        params = dispatch_toys.ToyParams(n_points=3)
+        journal = tmp_path / "sweep.jsonl"
+        backend = _backend(tmp_path)
+        _run(dispatch_toys.ECHO, params, backend, journal)
+        header = json.loads(Path(journal).read_text().splitlines()[0])
+        workers = header.get("workers", [])
+        assert workers, "journal header should carry the fleet roster"
+        assert set(workers) <= set(backend.worker_roster)
+
+    def test_collect_stats_and_log_cover_the_run(self, tmp_path):
+        params = dispatch_toys.ToyParams(n_points=4)
+        backend = _backend(tmp_path)
+        _, stats = _run(
+            dispatch_toys.ECHO, params, backend, tmp_path / "sweep.jsonl"
+        )
+        collected = backend.collect_stats()
+        assert collected["workers_spawned"] >= 2
+        # One task + one result frame per point is the floor.
+        assert collected["frames_sent"] >= 4
+        assert collected["frames_received"] >= 4
+        counts = backend.log.counts()
+        for event in ("spawn", "hello", "lease", "result", "shutdown"):
+            assert counts.get(event, 0) >= 1, f"no {event!r} events logged"
+        assert counts["result"] >= 4
+
+
+class TestFailureClasses:
+    def test_worker_crash_is_a_transient_retry(self, tmp_path):
+        params = dispatch_toys.ToyParams(
+            n_points=5, state_dir=str(tmp_path), labels=("p1",)
+        )
+        backend = _backend(tmp_path)
+        payload, stats = _run(
+            dispatch_toys.CRASH, params, backend, tmp_path / "sweep.jsonl"
+        )
+        assert stats.failures == []
+        assert len(payload) == 5
+        assert stats.transient_retries >= 1
+        assert backend.log.counts().get("worker_dead", 0) >= 1
+
+    def test_flaky_point_retries_deterministically_then_succeeds(self, tmp_path):
+        params = dispatch_toys.ToyParams(
+            n_points=4, state_dir=str(tmp_path), labels=("p2",)
+        )
+        backend = _backend(tmp_path)
+        payload, stats = _run(
+            dispatch_toys.FLAKY, params, backend, tmp_path / "sweep.jsonl"
+        )
+        assert stats.failures == []
+        assert len(payload) == 4
+        retries = [
+            record
+            for record in backend.log.records()
+            if record.event == "retry" and record.point == "p2"
+        ]
+        assert retries, "the flaky failure should appear as a retry event"
+
+    def test_quarantine_after_two_distinct_workers_agree(self, tmp_path):
+        params = dispatch_toys.ToyParams(
+            n_points=5, state_dir=str(tmp_path), labels=("p3",)
+        )
+        quarantine = tmp_path / "quarantine.jsonl"
+        backend = _backend(
+            tmp_path,
+            retry_policy=RetryPolicy(max_attempts=4, base_delay=0.01),
+        )
+        payload, stats = _run(
+            dispatch_toys.POISON, params, backend, tmp_path / "sweep.jsonl"
+        )
+        # The sweep completes: the other four points all have results.
+        assert sum(1 for item in payload if item is not None) == 4
+        assert stats.errors == 1
+        assert stats.quarantined == 1
+        assert len(stats.failures) == 1
+        assert stats.failures[0].kind == "quarantined"
+        assert stats.failures[0].label == "p3"
+
+        records = [
+            json.loads(line)
+            for line in quarantine.read_text().splitlines()
+            if line
+        ]
+        assert len(records) == 1
+        record = records[0]
+        assert record["schema"] == "repro-quarantine/1"
+        assert record["label"] == "p3"
+        assert record["signature"] == "ValueError: poison p3"
+        assert len(record["workers"]) == 2
+        assert len(set(record["workers"])) == 2, "workers must be distinct"
+        assert len(record["failures"]) >= 2
+        for failure in record["failures"]:
+            assert "Traceback" in failure["traceback"]
+            assert failure["error_type"] == "ValueError"
+
+    def test_timeout_triggers_speculative_duplicate(self, tmp_path):
+        # p1 stalls for 20s on its *first* execution only; the
+        # speculative twin finds the marker file and returns at once.
+        params = dispatch_toys.ToyParams(
+            n_points=4, state_dir=str(tmp_path), labels=("p1",), sleep_s=20.0
+        )
+        backend = _backend(tmp_path, task_timeout=1.0)
+        payload, stats = _run(
+            dispatch_toys.STALL, params, backend, tmp_path / "sweep.jsonl"
+        )
+        assert stats.failures == []
+        assert len(payload) == 4
+        assert backend.log.counts().get("speculate", 0) >= 1
+        assert stats.timeouts >= 1
+
+
+class TestLeaseExpiry:
+    def test_sigstopped_worker_loses_its_lease(self, tmp_path):
+        # One worker takes p0, writes its marker, then sleeps.  We
+        # freeze that worker with SIGSTOP — its heartbeat thread stops
+        # with it — so the lease expires and the point is retried on a
+        # respawned worker, which finds the marker and returns fast.
+        params = dispatch_toys.ToyParams(
+            n_points=3, state_dir=str(tmp_path), labels=("p0",), sleep_s=60.0
+        )
+        pid_file = tmp_path / "workers.pid"
+        backend = _backend(
+            tmp_path, lease_timeout=1.5, heartbeat_interval=0.25,
+            pid_file=pid_file,
+        )
+        marker = tmp_path / "p0.stalled"
+        stopped = []
+
+        def _freeze_when_stalled():
+            deadline = time.monotonic() + 30.0
+            while time.monotonic() < deadline and not marker.exists():
+                time.sleep(0.02)
+            assert marker.exists(), "stall marker never appeared"
+            victim = int(marker.read_text() or "0")
+            if not victim:
+                # marker written but pid not yet flushed; re-read briefly
+                time.sleep(0.1)
+                victim = int(marker.read_text())
+            os.kill(victim, signal.SIGSTOP)
+            stopped.append(victim)
+
+        freezer = threading.Thread(target=_freeze_when_stalled)
+        freezer.start()
+        try:
+            payload, stats = _run(
+                dispatch_toys.STALL, params, backend,
+                tmp_path / "sweep.jsonl", jobs=2,
+            )
+        finally:
+            freezer.join(timeout=30.0)
+            for victim in stopped:
+                try:
+                    os.kill(victim, signal.SIGCONT)
+                    os.kill(victim, signal.SIGKILL)
+                except ProcessLookupError:
+                    pass
+        assert stats.failures == []
+        assert len(payload) == 3
+        assert stats.lease_expirations >= 1
+        assert stats.transient_retries >= 1
+        assert backend.log.counts().get("expire", 0) >= 1
+
+
+class TestReuseAndShutdown:
+    def test_backend_is_reopenable_for_a_second_sweep(self, tmp_path):
+        backend = _backend(tmp_path)
+        params = dispatch_toys.ToyParams(n_points=3)
+        first, stats1 = _run(
+            dispatch_toys.ECHO, params, backend, tmp_path / "first.jsonl"
+        )
+        second, stats2 = _run(
+            dispatch_toys.ECHO, params, backend, tmp_path / "second.jsonl"
+        )
+        assert to_jsonable(first) == to_jsonable(second)
+        assert stats1.failures == stats2.failures == []
+
+    def test_close_reaps_every_spawned_worker(self, tmp_path):
+        pid_file = tmp_path / "workers.pid"
+        backend = _backend(tmp_path, pid_file=pid_file)
+        params = dispatch_toys.ToyParams(n_points=3)
+        _run(dispatch_toys.ECHO, params, backend, tmp_path / "sweep.jsonl")
+        deadline = time.monotonic() + 10.0
+        live = dict(_pids(pid_file))
+        while time.monotonic() < deadline and live:
+            for name, pid in list(live.items()):
+                try:
+                    os.kill(pid, 0)
+                except ProcessLookupError:
+                    live.pop(name)
+            time.sleep(0.05)
+        assert not live, f"workers still alive after close: {sorted(live)}"

@@ -1,0 +1,390 @@
+"""Unit tests for the dispatch building blocks: frames, retry policy,
+circuit breakers, and host-list parsing.
+
+Everything here is in-process and fast — no worker subprocesses.  The
+frame tests talk over a local socketpair; the breaker tests drive the
+state machine with a fake clock.  End-to-end fleet behavior lives in
+test_dispatch_backend.py and the chaos harness.
+"""
+
+import json
+import socket
+import struct
+import threading
+
+import pytest
+
+from repro.runner.dispatch.breaker import CircuitBreaker
+from repro.runner.dispatch.frames import (
+    MAX_FRAME_BYTES,
+    FrameError,
+    connect_socket,
+    decode_payload,
+    encode_payload,
+    listen_socket,
+    recv_frame,
+    send_frame,
+)
+from repro.runner.dispatch.hosts import (
+    DEFAULT_SPAWN,
+    HostSpec,
+    default_hosts,
+    parse_hosts,
+)
+from repro.runner.dispatch.retry import (
+    DETERMINISTIC,
+    TIMEOUT,
+    TRANSIENT,
+    LeaseExpired,
+    QuarantinedPoint,
+    RetryPolicy,
+    WorkerLost,
+    classify_failure,
+    failure_signature,
+)
+
+
+@pytest.fixture()
+def sock_pair():
+    """A connected (client, server) TCP pair built via the sanctioned
+    frames helpers, so the test exercises the same socket options the
+    dispatcher and workers use."""
+    listener = listen_socket()
+    port = listener.getsockname()[1]
+    accepted = {}
+
+    def _accept():
+        conn, _ = listener.accept()
+        accepted["server"] = conn
+
+    thread = threading.Thread(target=_accept)
+    thread.start()
+    client = connect_socket("127.0.0.1", port, timeout=5.0)
+    thread.join(timeout=5.0)
+    server = accepted["server"]
+    yield client, server
+    for sock in (client, server, listener):
+        sock.close()
+
+
+class TestFrames:
+    def test_round_trip_single_frame(self, sock_pair):
+        client, server = sock_pair
+        message = {"op": "hello", "worker": "local0", "pid": 1234}
+        send_frame(client, message)
+        assert recv_frame(server) == message
+
+    def test_round_trip_pickled_payload(self, sock_pair):
+        client, server = sock_pair
+        payload = {"values": list(range(64)), "label": "n=4"}
+        send_frame(client, {"op": "result", "id": 7,
+                            "payload": encode_payload(payload)})
+        frame = recv_frame(server)
+        assert frame["id"] == 7
+        assert decode_payload(frame["payload"]) == payload
+
+    def test_back_to_back_frames_do_not_bleed(self, sock_pair):
+        client, server = sock_pair
+        for i in range(5):
+            send_frame(client, {"op": "heartbeat", "seq": i})
+        got = [recv_frame(server)["seq"] for _ in range(5)]
+        assert got == list(range(5))
+
+    def test_clean_eof_at_boundary_returns_none(self, sock_pair):
+        client, server = sock_pair
+        send_frame(client, {"op": "bye"})
+        client.close()
+        assert recv_frame(server) == {"op": "bye"}
+        assert recv_frame(server) is None
+
+    def test_torn_frame_raises_frame_error(self, sock_pair):
+        client, server = sock_pair
+        body = json.dumps({"op": "hello"}).encode("utf-8")
+        # Advertise the full body but deliver only half before closing.
+        client.sendall(struct.pack(">I", len(body)) + body[: len(body) // 2])
+        client.close()
+        with pytest.raises(FrameError, match="mid-frame"):
+            recv_frame(server)
+
+    def test_oversize_length_prefix_rejected_before_allocation(self, sock_pair):
+        client, server = sock_pair
+        client.sendall(struct.pack(">I", MAX_FRAME_BYTES + 1))
+        with pytest.raises(FrameError, match="exceeds MAX_FRAME_BYTES"):
+            recv_frame(server)
+
+    def test_non_json_body_raises(self, sock_pair):
+        client, server = sock_pair
+        body = b"\xff\xfe not json"
+        client.sendall(struct.pack(">I", len(body)) + body)
+        with pytest.raises(FrameError, match="not JSON"):
+            recv_frame(server)
+
+    def test_unknown_op_raises(self, sock_pair):
+        client, server = sock_pair
+        send_frame(client, {"op": "heartbeat"})  # sanity: known op fine
+        assert recv_frame(server)["op"] == "heartbeat"
+        body = json.dumps({"op": "warp-core-breach"}).encode("utf-8")
+        client.sendall(struct.pack(">I", len(body)) + body)
+        with pytest.raises(FrameError, match="known-op"):
+            recv_frame(server)
+
+    def test_frame_error_is_a_connection_error(self):
+        # Classification relies on this: frame corruption == broken peer.
+        assert issubclass(FrameError, ConnectionError)
+
+
+class TestClassification:
+    def test_transient_types(self):
+        for exc in (ConnectionResetError("rst"), BrokenPipeError("pipe"),
+                    EOFError(), LeaseExpired("lease"), FrameError("torn")):
+            assert classify_failure(exc) == TRANSIENT
+
+    def test_timeout_types(self):
+        assert classify_failure(TimeoutError("slow")) == TIMEOUT
+
+    def test_everything_else_presumed_deterministic(self):
+        for exc in (ValueError("bad"), ZeroDivisionError(), RuntimeError("x")):
+            assert classify_failure(exc) == DETERMINISTIC
+
+    def test_dispatch_terminal_errors_are_not_transient(self):
+        # DispatchError subclasses RuntimeError, not ConnectionError —
+        # the engine must treat them as final, never re-retry.
+        lost = WorkerLost("n=1", 3, ("local0", "local1"))
+        quarantined = QuarantinedPoint("n=1", "ValueError: bad",
+                                       ("local0", "local1"), "q.jsonl")
+        assert classify_failure(lost) == DETERMINISTIC
+        assert classify_failure(quarantined) == DETERMINISTIC
+        assert "local1" in str(lost)
+        assert "quarantined" in str(quarantined)
+
+    def test_failure_signature_folds_type_and_message(self):
+        sig = failure_signature("ValueError", "poison pill n=3")
+        assert sig == "ValueError: poison pill n=3"
+
+
+class TestRetryPolicy:
+    def test_spec_round_trip(self):
+        policy = RetryPolicy(max_attempts=3, base_delay=0.1, multiplier=3.0,
+                             max_delay=5.0, jitter=0.25, transient_budget=4,
+                             seed=7)
+        assert RetryPolicy.parse(policy.to_spec()) == policy
+
+    def test_parse_partial_spec_keeps_defaults(self):
+        policy = RetryPolicy.parse("attempts=5,seed=9")
+        assert policy.max_attempts == 5
+        assert policy.seed == 9
+        assert policy.base_delay == RetryPolicy().base_delay
+
+    def test_parse_empty_spec_is_default(self):
+        assert RetryPolicy.parse("") == RetryPolicy()
+
+    def test_parse_rejects_unknown_key_and_bad_value(self):
+        with pytest.raises(ValueError, match="bad retry-policy term"):
+            RetryPolicy.parse("attempts=2,warp=9")
+        with pytest.raises(ValueError, match="bad retry-policy value"):
+            RetryPolicy.parse("attempts=two")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(multiplier=0.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=-0.1)
+        with pytest.raises(ValueError):
+            RetryPolicy(transient_budget=-1)
+
+    def test_allows_is_one_based_cap(self):
+        policy = RetryPolicy(max_attempts=3)
+        assert policy.allows(1)
+        assert policy.allows(3)
+        assert not policy.allows(4)
+
+    def test_transient_budget_exhaustion(self):
+        policy = RetryPolicy(transient_budget=2)
+        assert policy.allows_transient(0)
+        assert policy.allows_transient(1)
+        assert not policy.allows_transient(2)
+
+    def test_backoff_growth_and_cap(self):
+        policy = RetryPolicy(base_delay=0.1, multiplier=2.0, max_delay=0.35,
+                             jitter=0.0)
+        schedule = policy.schedule("exp/n=1")
+        assert schedule.delay(1) == pytest.approx(0.1)
+        assert schedule.delay(2) == pytest.approx(0.2)
+        # 0.4 raw, capped at 0.35; cap applies before jitter.
+        assert schedule.delay(3) == pytest.approx(0.35)
+        assert schedule.delay(7) == pytest.approx(0.35)
+
+    def test_jitter_is_deterministic_in_seed_and_key(self):
+        policy_a = RetryPolicy(seed=11, jitter=0.5)
+        policy_b = RetryPolicy(seed=11, jitter=0.5)
+        delays_a = [policy_a.schedule("exp/n=1").delay(i) for i in (1, 2, 3)]
+        delays_b = [policy_b.schedule("exp/n=1").delay(i) for i in (1, 2, 3)]
+        assert delays_a == delays_b
+
+    def test_jitter_differs_across_keys_and_seeds(self):
+        policy = RetryPolicy(seed=11, jitter=0.5)
+        other_key = [policy.schedule("exp/n=2").delay(i) for i in (1, 2, 3)]
+        same_key = [policy.schedule("exp/n=1").delay(i) for i in (1, 2, 3)]
+        other_seed = [RetryPolicy(seed=12, jitter=0.5).schedule("exp/n=1").delay(i)
+                      for i in (1, 2, 3)]
+        assert same_key != other_key
+        assert same_key != other_seed
+
+    def test_out_of_order_queries_do_not_perturb_draws(self):
+        policy = RetryPolicy(seed=3, jitter=1.0)
+        forward = policy.schedule("k")
+        ordered = [forward.delay(i) for i in (1, 2, 3)]
+        backward = policy.schedule("k")
+        reversed_query = [backward.delay(3), backward.delay(2), backward.delay(1)]
+        assert ordered == reversed_query[::-1]
+
+    def test_delay_is_one_based(self):
+        with pytest.raises(ValueError, match="1-based"):
+            RetryPolicy().schedule("k").delay(0)
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 100.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+class TestCircuitBreaker:
+    def test_closed_until_threshold_consecutive_failures(self):
+        breaker = CircuitBreaker(threshold=3, cooldown=5.0, clock=FakeClock())
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == CircuitBreaker.CLOSED
+        assert breaker.allows()
+        breaker.record_failure()
+        assert breaker.state == CircuitBreaker.OPEN
+        assert breaker.opened_count == 1
+
+    def test_success_resets_the_consecutive_count(self):
+        breaker = CircuitBreaker(threshold=2, cooldown=5.0, clock=FakeClock())
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state == CircuitBreaker.CLOSED
+
+    def test_open_blocks_until_cooldown_then_admits_one_probe(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(threshold=1, cooldown=5.0, clock=clock)
+        breaker.record_failure()
+        assert breaker.state == CircuitBreaker.OPEN
+        assert not breaker.allows()
+        clock.advance(4.9)
+        assert not breaker.allows()
+        clock.advance(0.2)
+        assert breaker.allows()  # the single probe
+        assert breaker.state == CircuitBreaker.HALF_OPEN
+        assert not breaker.allows()  # probe outstanding: nothing else
+
+    def test_probe_success_closes(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(threshold=1, cooldown=1.0, clock=clock)
+        breaker.record_failure()
+        clock.advance(1.5)
+        assert breaker.allows()
+        breaker.record_success()
+        assert breaker.state == CircuitBreaker.CLOSED
+        assert breaker.allows()
+
+    def test_probe_failure_reopens_for_a_full_cooldown(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(threshold=1, cooldown=2.0, clock=clock)
+        breaker.record_failure()
+        clock.advance(2.5)
+        assert breaker.allows()
+        breaker.record_failure()
+        assert breaker.state == CircuitBreaker.OPEN
+        assert breaker.opened_count == 2
+        assert not breaker.allows()
+        clock.advance(2.5)
+        assert breaker.allows()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(threshold=0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(cooldown=-1.0)
+
+
+class TestHosts:
+    def test_parse_local_n(self):
+        hosts = parse_hosts("local:3")
+        assert len(hosts) == 1
+        assert hosts[0].name == "local"
+        assert hosts[0].workers == 3
+        assert hosts[0].spawn == DEFAULT_SPAWN
+
+    def test_parse_bare_local_means_one_worker(self):
+        assert parse_hosts("local")[0].workers == 1
+
+    def test_default_hosts_clamps_to_one(self):
+        assert default_hosts(0)[0].workers == 1
+
+    def test_parse_json_host_file(self, tmp_path):
+        doc = [
+            {"name": "node-a", "workers": 2,
+             "spawn": ["ssh", "node-a", "{python}", "-m",
+                       "repro.runner.dispatch.worker",
+                       "--connect", "{addr}", "--worker", "{worker}",
+                       "--heartbeat", "{heartbeat}"]},
+            {"name": "node-b", "workers": 1},
+        ]
+        path = tmp_path / "hosts.json"
+        path.write_text(json.dumps(doc), encoding="utf-8")
+        hosts = parse_hosts(str(path))
+        assert [h.name for h in hosts] == ["node-a", "node-b"]
+        assert hosts[0].spawn[0] == "ssh"
+        assert hosts[1].spawn == DEFAULT_SPAWN
+
+    def test_parse_rejects_bad_specs(self, tmp_path):
+        with pytest.raises(ValueError, match="grammar"):
+            parse_hosts("local:many")
+        with pytest.raises(ValueError):
+            parse_hosts("")
+        with pytest.raises(ValueError, match="not valid JSON"):
+            bad = tmp_path / "bad.json"
+            bad.write_text("{", encoding="utf-8")
+            parse_hosts(str(bad))
+        with pytest.raises(ValueError, match="duplicate host"):
+            dup = tmp_path / "dup.json"
+            dup.write_text(json.dumps([{"name": "a"}, {"name": "a"}]),
+                           encoding="utf-8")
+            parse_hosts(str(dup))
+        with pytest.raises(ValueError, match="unknown key"):
+            unknown = tmp_path / "unknown.json"
+            unknown.write_text(json.dumps([{"name": "a", "cpus": 4}]),
+                               encoding="utf-8")
+            parse_hosts(str(unknown))
+
+    def test_command_substitutes_all_placeholders(self):
+        host = HostSpec("node-a", 2)
+        argv = host.command("127.0.0.1:5000", "node-a1", heartbeat=0.25)
+        assert "--connect" in argv
+        assert "127.0.0.1:5000" in argv
+        assert "node-a1" in argv
+        assert "0.25" in argv
+        assert argv[0]  # {python} resolved to a real interpreter path
+
+    def test_worker_names_are_host_prefixed_and_unique(self):
+        names = HostSpec("node-a", 3).worker_names()
+        assert names == ["node-a0", "node-a1", "node-a2"]
+        assert len(set(names)) == 3
+
+    def test_host_spec_validation(self):
+        with pytest.raises(ValueError):
+            HostSpec("", 1)
+        with pytest.raises(ValueError):
+            HostSpec("a", 0)
+        with pytest.raises(ValueError):
+            HostSpec("a", 1, spawn=())

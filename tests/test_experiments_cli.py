@@ -79,3 +79,89 @@ class TestExecution:
         assert cli.main(argv + ["--resume"]) == 0
         out = capsys.readouterr().out
         assert "2/2 resumed" in out
+
+
+class TestDispatchCli:
+    """The --backend dispatch / --hosts / --retry-policy surface."""
+
+    def test_hosts_requires_dispatch_backend(self):
+        with pytest.raises(SystemExit):
+            cli.main(["fig1", "--hosts", "local:2"])
+
+    def test_bad_retry_policy_rejected_at_parse_time(self):
+        with pytest.raises(SystemExit):
+            cli.main(["fig1", "--retry-policy", "attempts=2,warp=9"])
+
+    def test_bad_hosts_spec_rejected_at_parse_time(self):
+        with pytest.raises(SystemExit):
+            cli.main(
+                ["fig1", "--backend", "dispatch", "--hosts", "local:many"]
+            )
+
+    @staticmethod
+    def _toys(monkeypatch):
+        """Put the dispatch toys on both our and the workers' paths."""
+        import os
+        import sys
+        from pathlib import Path
+
+        tests_dir = str(Path(__file__).resolve().parent)
+        if tests_dir not in sys.path:
+            sys.path.insert(0, tests_dir)
+        existing = os.environ.get("PYTHONPATH", "")
+        joined = (
+            tests_dir + os.pathsep + existing if existing else tests_dir
+        )
+        monkeypatch.setenv("PYTHONPATH", joined)
+        import dispatch_toys
+
+        return dispatch_toys
+
+    def test_dispatch_backend_runs_end_to_end(
+        self, monkeypatch, tmp_path, capsys
+    ):
+        dispatch_toys = self._toys(monkeypatch)
+
+        class _CliEcho(dispatch_toys.EchoExperiment):
+            uses_protocols = False
+
+            def make_params(self, preset="quick", protocol=None, **overrides):
+                return dispatch_toys.ToyParams(n_points=4)
+
+        monkeypatch.setitem(cli.EXPERIMENTS, "toyecho", _CliEcho())
+        argv = [
+            "toyecho", "--preset", "quick", "--no-cache",
+            "--backend", "dispatch", "--jobs", "2",
+            "--checkpoint", str(tmp_path / "journal.jsonl"),
+            "--retry-policy", "attempts=2,base=0.01",
+        ]
+        assert cli.main(argv) == 0
+
+    def test_quarantined_point_exits_nonzero_with_evidence(
+        self, monkeypatch, tmp_path, capsys
+    ):
+        dispatch_toys = self._toys(monkeypatch)
+
+        class _CliPoison(dispatch_toys.PoisonExperiment):
+            uses_protocols = False
+
+            def make_params(self, preset="quick", protocol=None, **overrides):
+                return dispatch_toys.ToyParams(n_points=4, labels=("p1",))
+
+        monkeypatch.setitem(cli.EXPERIMENTS, "toypoison", _CliPoison())
+        journal = tmp_path / "journal.jsonl"
+        argv = [
+            "toypoison", "--preset", "quick", "--no-cache",
+            "--backend", "dispatch", "--jobs", "2",
+            "--checkpoint", str(journal),
+            "--retry-policy", "attempts=4,base=0.01",
+        ]
+        with pytest.warns(RuntimeWarning, match="failed"):
+            exit_code = cli.main(argv)
+        assert exit_code == 1
+        captured = capsys.readouterr()
+        assert "QUARANTINED" in captured.out
+        assert "quarantined" in captured.err
+        quarantine = tmp_path / "toypoison-quick-seed1.quarantine.jsonl"
+        assert quarantine.exists()
+        assert "repro-quarantine/1" in quarantine.read_text()

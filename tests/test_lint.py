@@ -23,7 +23,7 @@ class TestFramework:
         rules = all_rules()
         ids = [r.id for r in rules]
         assert ids == sorted(ids)
-        assert ids == [f"SIM{n:03d}" for n in range(1, 17)]
+        assert ids == [f"SIM{n:03d}" for n in range(1, 18)]
         for rule in rules:
             assert rule.summary and rule.fixit
 
@@ -347,6 +347,46 @@ class TestSim010RawExecutor:
         assert lint_source(src, path="repro/runner/engine.py") == []
 
 
+class TestSim017RawSocket:
+    def test_flags_direct_socket(self):
+        src = (
+            "import socket\n"
+            "def dial(host, port):\n"
+            "    return socket.socket(socket.AF_INET, socket.SOCK_STREAM)\n"
+        )
+        findings = lint_source(src, path="repro/obs/export.py")
+        assert rule_ids(findings) == ["SIM017"]
+        assert "frames" in findings[0].fixit
+
+    def test_flags_create_connection_and_server(self):
+        src = (
+            "import socket\n"
+            "def up(addr):\n"
+            "    a = socket.create_connection(addr)\n"
+            "    b = socket.create_server(addr)\n"
+            "    return a, b\n"
+        )
+        findings = lint_source(src, path="repro/experiments/custom.py")
+        assert rule_ids(findings) == ["SIM017"]
+        assert len(findings) == 2
+
+    def test_dispatch_package_is_exempt(self):
+        src = (
+            "import socket\n"
+            "def listen():\n"
+            "    return socket.create_server(('127.0.0.1', 0))\n"
+        )
+        assert lint_source(src, path="repro/runner/dispatch/frames.py") == []
+
+    def test_non_constructor_socket_use_is_fine(self):
+        src = (
+            "import socket\n"
+            "def name():\n"
+            "    return socket.gethostname()\n"
+        )
+        assert lint_source(src, path="repro/runner/engine.py") == []
+
+
 class TestCli:
     def test_nonzero_exit_and_fixit_on_findings(self, tmp_path, capsys):
         bad = tmp_path / "bad.py"
@@ -372,7 +412,7 @@ class TestCli:
     def test_list_rules(self, capsys):
         assert lint_main(["--list-rules"]) == 0
         out = capsys.readouterr().out
-        for n in range(1, 17):
+        for n in range(1, 18):
             assert f"SIM{n:03d}" in out
 
     def test_directory_walk(self, tmp_path):

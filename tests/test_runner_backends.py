@@ -554,3 +554,168 @@ class TestShmKillDashNine:
             timeout=60.0,
         )
         assert outcome["payload"] == json.loads(fresh.stdout)["payload"]
+
+
+# ----------------------------------------------------------------------
+# Failure accounting: the timeouts/errors split and control-flow exits
+# ----------------------------------------------------------------------
+
+class _FailingExperiment(_SpyExperiment):
+    """Raises for one label; everything else succeeds."""
+
+    id = "toy-backend-failing"
+
+    def run_point(self, params, point, seed):
+        if point.label == "p1":
+            raise ValueError("broken point")
+        return super().run_point(params, point, seed)
+
+
+class _ExitingExperiment(_SpyExperiment):
+    """Calls sys.exit from inside a point."""
+
+    id = "toy-backend-exiting"
+
+    def run_point(self, params, point, seed):
+        raise SystemExit(7)
+
+
+class _SleepyExperiment(_SpyExperiment):
+    """Every point sleeps long enough to trip a short runner timeout."""
+
+    id = "toy-backend-sleepy"
+
+    def run_point(self, params, point, seed):
+        time.sleep(1.0)
+        return super().run_point(params, point, seed)
+
+
+class TestFailureAccounting:
+    def test_point_error_lands_in_stats_errors(self):
+        runner = SweepRunner(jobs=1, backend="serial", retries=0)
+        with pytest.warns(RuntimeWarning, match="failed"):
+            runner.run(_FailingExperiment(3), _ToyParams(), seed=0)
+        stats = runner.last_stats
+        assert stats.errors == 1
+        assert stats.timeouts == 0
+        assert len(stats.failures) == 1
+        assert stats.failures[0].kind == "deterministic"
+        assert stats.failures[0].label == "p1"
+
+    def test_timeout_lands_in_stats_timeouts_with_kind(self):
+        # A thread pool resolves experiments by id in-process, so the
+        # sleepy toy must sit in the registry for the sweep's duration.
+        experiment = _SleepyExperiment(1)
+        registry._ensure_loaded()
+        registry._REGISTRY[experiment.id] = experiment
+        try:
+            runner = SweepRunner(
+                jobs=2,
+                backend=LegacyExecutorBackend(
+                    lambda n: concurrent.futures.ThreadPoolExecutor(n)
+                ),
+                retries=0,
+                timeout=0.1,
+            )
+            with pytest.warns(RuntimeWarning, match="failed"):
+                runner.run(experiment, _ToyParams(), seed=0)
+        finally:
+            registry._REGISTRY.pop(experiment.id, None)
+        stats = runner.last_stats
+        assert stats.timeouts == 1
+        assert stats.errors == 0
+        assert len(stats.failures) == 1
+        assert stats.failures[0].kind == "timeout"
+
+    def test_system_exit_propagates_out_of_a_serial_sweep(self):
+        # SystemExit is control flow, not a point failure: the serial
+        # backend must re-raise it instead of feeding it to the retry
+        # loop as if the point had merely errored.
+        runner = SweepRunner(jobs=1, backend="serial", retries=3)
+        with pytest.raises(SystemExit):
+            runner.run(_ExitingExperiment(2), _ToyParams(), seed=0)
+        assert runner.last_stats is None or runner.last_stats.errors == 0
+
+
+# ----------------------------------------------------------------------
+# Shared-memory transport degradation
+# ----------------------------------------------------------------------
+
+class TestShmPipeFallback:
+    def test_unavailable_shm_rides_the_pipe_and_is_counted(
+        self, tmp_path, monkeypatch
+    ):
+        """With /dev/shm unusable, results still arrive byte-identical —
+        and the degradation is visible on ``backend.fallbacks``."""
+        import multiprocessing
+
+        experiment = registry.get("incast")
+        params = experiment.make_params(
+            "quick", protocol="reno", sender_counts=(2, 3),
+            block_bytes=16 * 1024,
+        )
+
+        def _sweep(backend, journal):
+            runner = SweepRunner(
+                jobs=2, cache=None, backend=backend,
+                checkpoint=SweepCheckpoint(journal),
+            )
+            runner.run(experiment, params, seed=3)
+            return _journal_point_lines(journal)
+
+        reference = _sweep("serial", tmp_path / "serial.jsonl")
+
+        def _no_shm(*args, **kwargs):
+            raise OSError("shm unavailable (injected)")
+
+        # threshold 0 forces every result toward a segment; the fork
+        # start method makes workers inherit the broken constructor.
+        monkeypatch.setattr(
+            "multiprocessing.shared_memory.SharedMemory", _no_shm
+        )
+        backend = SharedMemoryBackend(
+            threshold_bytes=0,
+            mp_context=multiprocessing.get_context("fork"),
+        )
+        degraded = _sweep(backend, tmp_path / "shm.jsonl")
+
+        assert degraded == reference
+        assert backend.fallbacks >= 2, (
+            "every point should have fallen back to the pickle pipe"
+        )
+
+
+# ----------------------------------------------------------------------
+# Progress reporting: the timeouts/errors split on operator-facing lines
+# ----------------------------------------------------------------------
+
+class TestProgressFailureSplit:
+    def test_progress_line_and_summary_split_timeouts_from_errors(self):
+        import io
+
+        from repro.runner.progress import ProgressReporter
+
+        stream = io.StringIO()
+        reporter = ProgressReporter(label="toy", stream=stream)
+        reporter.start(total=5)
+        reporter.point_done("p0")
+        reporter.point_done("p1", failed=True, kind="timeout")
+        reporter.point_done("p2", failed=True, kind="timeout")
+        reporter.point_done("p3", failed=True, kind="quarantined")
+        reporter.point_done("p4")
+        reporter.finish()
+        output = stream.getvalue()
+        assert "(2 timeouts, 1 error FAILED)" in output
+        assert "2 timeouts, 1 error failed" in output.splitlines()[-1]
+
+    def test_clean_run_reports_zero_failed(self):
+        import io
+
+        from repro.runner.progress import ProgressReporter
+
+        stream = io.StringIO()
+        reporter = ProgressReporter(label="toy", stream=stream)
+        reporter.start(total=1)
+        reporter.point_done("p0")
+        reporter.finish()
+        assert "0 failed" in stream.getvalue().splitlines()[-1]
