@@ -99,8 +99,16 @@ def _report_partial(
             continue
         try:
             experiment.report(params, payload)
-        except Exception:  # noqa: BLE001 - partial payloads may not print
-            pass
+        except Exception as exc:  # noqa: BLE001 - partial payloads may not print
+            # A reporter written for complete sweeps may choke on the
+            # holes; fall back to the raw payload so an interrupted run
+            # never exits with its surviving data invisible.
+            print(
+                f"[{experiment.id}] report failed on partial payload "
+                f"({type(exc).__name__}: {exc}); raw payload follows:",
+                file=sys.stderr,
+            )
+            print(repr(payload), file=sys.stderr)
 
 
 def main(argv: list[str] | None = None) -> int:

@@ -45,6 +45,7 @@ _EXPERIMENT_MODULES = (
     "repro.experiments.incast",
     "repro.experiments.faults",
     "repro.experiments.openloop",
+    "repro.experiments.matrix",
 )
 
 _REGISTRY: dict[str, "Experiment"] = {}

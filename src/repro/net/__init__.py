@@ -9,7 +9,13 @@ ECN-marking) queue and delivers them after a propagation delay.
 from repro.net.link import Link, LinkStats
 from repro.net.node import Host, Node, Switch
 from repro.net.packet import ACK_BYTES, MSS_BYTES, Packet
-from repro.net.queues import DropTailQueue, EcnQueue, QueueStats, RedQueue
+from repro.net.queues import (
+    DropTailQueue,
+    EcnQueue,
+    FairQueue,
+    QueueStats,
+    RedQueue,
+)
 from repro.net.routing import build_routing_tables
 from repro.net.topology import (
     FatTree,
@@ -29,6 +35,7 @@ __all__ = [
     "ACK_BYTES",
     "DropTailQueue",
     "EcnQueue",
+    "FairQueue",
     "FatTree",
     "Host",
     "LeafSpine",

@@ -22,7 +22,7 @@ from repro.sim.randomness import seeded_rng
 if TYPE_CHECKING:  # pragma: no cover
     from repro.obs.telemetry import QueueTap
 
-__all__ = ["DropTailQueue", "EcnQueue", "QueueStats", "RedQueue"]
+__all__ = ["DropTailQueue", "EcnQueue", "FairQueue", "QueueStats", "RedQueue"]
 
 
 @dataclass(slots=True)
@@ -167,6 +167,154 @@ class EcnQueue(DropTailQueue):
         evicted = super().resize(capacity_pkts)
         if self.mark_threshold_pkts > capacity_pkts:
             self.mark_threshold_pkts = capacity_pkts
+        return evicted
+
+
+class FairQueue(DropTailQueue):
+    """FairQ/HSCC-style switch-assisted per-flow fairness discipline.
+
+    The switch keeps one FIFO per flow and serves the FIFOs round-robin
+    (equal-size data segments make round-robin equivalent to
+    deficit-round-robin here, as in the FairQ line of work).  Shared
+    buffer, two assists:
+
+    * **longest-queue drop** — an arrival that finds the shared buffer
+      full evicts the head of the currently longest per-flow backlog
+      (the flow hogging the buffer pays, not the newcomer), unless the
+      newcomer *is* the hog, in which case the arrival itself drops;
+    * **fair-share feedback** — an ECN-capable arrival whose flow
+      already holds at least ``capacity / active_flows`` packets is
+      CE-marked, telling exactly the over-share senders to back off
+      while under-share flows keep ramping.
+
+    Conservation identity and the reporting surface (``stats``,
+    ``on_drop``, ``tap``) match :class:`DropTailQueue` exactly, so the
+    runtime invariant monitor and the flight recorder work unchanged;
+    ``resize`` evicts from the longest backlogs first (the shared
+    buffer reclaims cells from the hogs).
+    """
+
+    def __init__(self, capacity_pkts: int, name: str = "") -> None:
+        super().__init__(capacity_pkts, name)
+        #: per-flow FIFOs, insertion-ordered (dict order is the
+        #: round-robin seeding order for determinism).
+        self._flows: dict[int, deque[Packet]] = {}
+        #: round-robin service order over flows with backlog.
+        self._rr: deque[int] = deque()
+        self._resident = 0
+
+    def __len__(self) -> int:
+        return self._resident
+
+    # ------------------------------------------------------------------
+    def fair_share_pkts(self) -> int:
+        """Per-flow fair share of the buffer given the active flows."""
+        active = sum(1 for q in self._flows.values() if q)
+        return max(1, self.capacity_pkts // max(1, active))
+
+    def backlog_of(self, flow_id: int) -> int:
+        """Resident packets of one flow (0 for unknown flows)."""
+        q = self._flows.get(flow_id)
+        return 0 if q is None else len(q)
+
+    def _longest_flow(self) -> int:
+        """The flow with the largest backlog (ties: lowest flow id)."""
+        return max(
+            (fid for fid, q in self._flows.items() if q),
+            key=lambda fid: (len(self._flows[fid]), -fid),
+        )
+
+    def _drop_resident_head(self, flow_id: int) -> None:
+        """Remove the head packet of ``flow_id``'s FIFO to make room.
+
+        A longest-queue-drop removal is a congestion loss (``dropped``,
+        ``on_drop``) of an already-admitted packet, so it must *also*
+        count as an eviction to keep the conservation identity
+        ``enqueued == dequeued + evicted + resident`` balanced.
+        """
+        q = self._flows[flow_id]
+        victim = q.popleft()
+        if not q:
+            self._rr.remove(flow_id)
+        self._resident -= 1
+        self.stats.dropped += 1
+        self.stats.evicted += 1
+        if self.on_drop is not None:
+            self.on_drop(victim)
+        if self.tap is not None:
+            self.tap.drop(self._resident)
+
+    def enqueue(self, pkt: Packet) -> bool:
+        if self._resident >= self.capacity_pkts:
+            hog = self._longest_flow()
+            if hog == pkt.flow_id or self.backlog_of(hog) <= 1:
+                # The newcomer is the hog (or every backlog is a single
+                # packet): tail-drop the arrival itself.
+                self.stats.dropped += 1
+                if self.on_drop is not None:
+                    self.on_drop(pkt)
+                if self.tap is not None:
+                    self.tap.drop(self._resident)
+                return False
+            self._drop_resident_head(hog)
+        if (
+            pkt.ecn_capable
+            and self.backlog_of(pkt.flow_id) >= self.fair_share_pkts()
+        ):
+            pkt.ecn_ce = True
+            self.stats.marked += 1
+            if self.tap is not None:
+                self.tap.mark(self._resident)
+        self._admit(pkt)
+        return True
+
+    def _admit(self, pkt: Packet) -> None:
+        q = self._flows.get(pkt.flow_id)
+        if q is None:
+            q = self._flows[pkt.flow_id] = deque()
+        if not q:
+            self._rr.append(pkt.flow_id)
+        q.append(pkt)
+        self._resident += 1
+        self.stats.enqueued += 1
+        if self._resident > self.stats.peak_length:
+            self.stats.peak_length = self._resident
+
+    def dequeue(self) -> Optional[Packet]:
+        while self._rr:
+            flow_id = self._rr.popleft()
+            q = self._flows[flow_id]
+            if not q:
+                continue  # emptied by a drop/evict since it was queued
+            pkt = q.popleft()
+            if q:
+                self._rr.append(flow_id)
+            self._resident -= 1
+            self.stats.dequeued += 1
+            return pkt
+        return None
+
+    def resize(self, capacity_pkts: int) -> int:
+        """Shrink by reclaiming cells from the longest backlogs first
+        (newest packet of the hog flow each time), counted as
+        evictions exactly like the drop-tail model."""
+        if capacity_pkts < 1:
+            raise ValueError("queue capacity must be at least 1 packet")
+        self.capacity_pkts = capacity_pkts
+        evicted = 0
+        while self._resident > capacity_pkts:
+            hog = self._longest_flow()
+            q = self._flows[hog]
+            pkt = q.pop()  # newest of the hog
+            if not q:
+                self._rr.remove(hog)
+            self._resident -= 1
+            self.stats.evicted += 1
+            evicted += 1
+            if self.on_drop is not None:
+                self.on_drop(pkt)
+            if self.tap is not None:
+                self.tap.evict(self._resident)
         return evicted
 
 

@@ -30,6 +30,7 @@ import json
 import os
 import pickle
 import tempfile
+import warnings
 from pathlib import Path
 from typing import Any, Optional
 
@@ -61,6 +62,11 @@ class ResultCache:
         self.root = Path(root).expanduser()
         self.hits = 0
         self.misses = 0
+        #: entries that existed but could not be unpickled; each one is
+        #: also counted in ``misses``.  A nonzero value after a sweep is
+        #: the signature of a damaged cache directory — surfaced so it
+        #: never silently masquerades as a cold cache.
+        self.corrupt = 0
         #: runtime history feeding the runner's cost-aware scheduler.
         self.costs = CostModel(self.root / "costs.json")
 
@@ -113,7 +119,14 @@ class ResultCache:
         except FileNotFoundError:
             pass
         except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
-                ImportError, IndexError):
+                ImportError, IndexError) as exc:
+            self.corrupt += 1
+            warnings.warn(
+                f"discarding corrupt cache entry {path.name}"
+                f" ({type(exc).__name__}: {exc})",
+                RuntimeWarning,
+                stacklevel=2,
+            )
             try:
                 path.unlink()
             except OSError:

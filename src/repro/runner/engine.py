@@ -61,6 +61,7 @@ callers can report before exiting non-zero.
 from __future__ import annotations
 
 import concurrent.futures
+import pickle
 import time
 import warnings
 from dataclasses import dataclass, field
@@ -123,6 +124,14 @@ class SweepStats:
     total_points: int = 0
     executed: int = 0
     cache_hits: int = 0
+    #: cache entries found corrupt during this sweep's lookups; each
+    #: was discarded and re-executed.  Nonzero means the cache directory
+    #: is damaged — distinguishable from an ordinary cold-cache miss.
+    cache_corrupt: int = 0
+    #: results that executed fine but could not be written back to the
+    #: cache (full disk, permissions).  The sweep's payload is intact;
+    #: only future reuse is lost.
+    cache_write_errors: int = 0
     #: points replayed from the checkpoint journal instead of executed.
     resumed: int = 0
     #: straggler results that completed after another attempt for the
@@ -406,6 +415,7 @@ class SweepRunner:
             self._checkpoint_used = True
 
         pending: list[_Entry] = []
+        corrupt_before = self.cache.corrupt if self.cache is not None else 0
         for entry in entries:
             if journalled and entry.journal_key in journalled:
                 value = journalled[entry.journal_key]
@@ -428,6 +438,8 @@ class SweepRunner:
                     self._point_done(entry, cached=True)
                     continue
             pending.append(entry)
+        if self.cache is not None:
+            stats.cache_corrupt = self.cache.corrupt - corrupt_before
 
         interrupted = False
         if pending:
@@ -461,7 +473,14 @@ class SweepRunner:
                 # holds everything needed to resume either way.
                 try:
                     payloads.append(experiment.reduce(params, points, task_results))
-                except Exception:  # noqa: BLE001
+                except Exception as exc:  # noqa: BLE001
+                    warnings.warn(
+                        f"{experiment.id}: reduce failed on the partial "
+                        f"result set ({type(exc).__name__}: {exc}); "
+                        "payload replaced with None",
+                        RuntimeWarning,
+                        stacklevel=2,
+                    )
                     payloads.append(None)
             else:
                 payloads.append(experiment.reduce(params, points, task_results))
@@ -538,7 +557,19 @@ class SweepRunner:
         stats.executed += 1
         if self.cache is not None:
             if entry.cache_key is not None and value is not None:
-                self.cache.put(entry.cache_key, value)
+                try:
+                    self.cache.put(entry.cache_key, value)
+                except (OSError, pickle.PicklingError) as exc:
+                    # The point already ran; losing the cache write only
+                    # costs a future re-execution.  Say so once per
+                    # point instead of failing the sweep or going quiet.
+                    stats.cache_write_errors += 1
+                    warnings.warn(
+                        f"cache write failed for {entry.experiment.id}/"
+                        f"{entry.point.label} ({type(exc).__name__}: {exc})",
+                        RuntimeWarning,
+                        stacklevel=2,
+                    )
             if seconds is not None:
                 self.cache.costs.observe(entry.cost_key, seconds)
         self._journal(entry, value)

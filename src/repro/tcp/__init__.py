@@ -28,6 +28,8 @@ from repro.tcp.l2dct import L2dctSource
 from repro.tcp.reno import RenoSource
 from repro.tcp.rtt import EwmaRtt, RttEstimator
 from repro.tcp.timely import TimelySource
+from repro.tcp.tinybuffer import TinyBufferSource
+from repro.tcp.tracks import TracksSource
 from repro.tcp.vegas import VegasSource
 
 __all__ = [
@@ -46,6 +48,8 @@ __all__ = [
     "TcpSink",
     "TcpSource",
     "TimelySource",
+    "TinyBufferSource",
+    "TracksSource",
     "VegasSource",
     "create_source",
     "default_config",

@@ -308,6 +308,7 @@ class TcpSource:
             self.stats.retransmits += 1
         self.max_seq_sent = max(self.max_seq_sent, seq)
         self.last_send_time = self.sim.now
+        self._on_segment_sent(seq, is_retx, probe)
         if self._invariants is not None:
             self._invariants.on_flow_send(self)
         self.host.send(pkt)
@@ -500,6 +501,13 @@ class TcpSource:
         switch into probe mode).  The base protocol always proceeds.
         """
         return True
+
+    def _on_segment_sent(self, seq: int, is_retx: bool, probe: bool) -> None:
+        """Called after every (re)transmission is stamped and counted.
+
+        T-RACKs records per-segment send times here so loss detection
+        can compare transmit times instead of counting duplicate ACKs.
+        """
 
     def _on_rtt_sample(self, rtt: float, pkt: Packet) -> None:
         """Called for each valid RTT sample (after the RTO estimator)."""

@@ -20,6 +20,8 @@ from repro.tcp.gip import GipSource
 from repro.tcp.l2dct import L2dctSource
 from repro.tcp.reno import RenoSource
 from repro.tcp.timely import TimelySource
+from repro.tcp.tinybuffer import TinyBufferSource
+from repro.tcp.tracks import TracksSource
 from repro.tcp.vegas import VegasSource
 
 __all__ = [
@@ -43,6 +45,8 @@ PROTOCOLS: dict[str, Type[TcpSource]] = {
     "vegas": VegasSource,
     "d2tcp": D2tcpSource,
     "timely": TimelySource,
+    "tinybuffer": TinyBufferSource,
+    "tracks": TracksSource,
 }
 
 #: protocols that need the network built with an ECN marking threshold
@@ -73,11 +77,23 @@ def default_config(protocol: str, **overrides: Any) -> TcpConfig:
     ECN protocols get ECT set; CUBIC models Linux and therefore gets
     NewReno-style partial-ACK recovery (a stand-in for SACK recovery —
     plain-Reno multi-loss windows would stall on RTOs that the real
-    Linux stack avoids).
+    Linux stack avoids).  Tiny Buffer TCP is paced by definition and
+    marks ECT so fairness queues can feed its rate estimator early.
+    T-RACKs replaces duplicate-ACK counting with time-based detection:
+    the threshold is pushed beyond any window (recovery is entered only
+    through the RACK machinery) and partial-ACK repair is kept for
+    multi-loss windows.
     """
     if protocol in ECN_PROTOCOLS:
         overrides.setdefault("ecn_capable", True)
     if protocol == "cubic":
+        overrides.setdefault("recovery", "newreno")
+    if protocol == "tinybuffer":
+        overrides.setdefault("pacing", True)
+        overrides.setdefault("ecn_capable", True)
+        overrides.setdefault("recovery", "newreno")
+    if protocol == "tracks":
+        overrides.setdefault("dupack_threshold", 1 << 30)
         overrides.setdefault("recovery", "newreno")
     return TcpConfig(**overrides)
 

@@ -95,8 +95,11 @@ class RttEstimator:
             self.rttvar = (1 - self.beta) * self.rttvar + self.beta * abs(srtt - rtt)
             srtt = (1 - self.alpha) * srtt + self.alpha * rtt
         self.srtt = srtt
+        # Karn/RFC 6298 order: a valid sample first retires the
+        # exponential backoff, *then* the RTO is recomputed from the
+        # fresh estimate — so the very next timer arms un-backed-off.
+        self.backoff_factor = 1.0
         self._base_rto = srtt + self.k * self.rttvar
-        self.backoff_factor = 1.0  # fresh sample resets exponential backoff
 
     def backoff(self) -> None:
         """Double the timeout after an expiry (capped at ``max_rto``)."""

@@ -19,6 +19,7 @@ class TestArgumentParsing:
             "fig1", "fig2", "fig4", "fig5", "fig6", "fig7", "fig8",
             "fig9", "fig10", "fig11", "fig12", "table1", "fig13a",
             "fig13be", "ablations", "incast", "faults", "openloop",
+            "matrix",
         }
         assert expected == set(cli.EXPERIMENTS)
 
@@ -165,3 +166,28 @@ class TestDispatchCli:
         quarantine = tmp_path / "toypoison-quick-seed1.quarantine.jsonl"
         assert quarantine.exists()
         assert "repro-quarantine/1" in quarantine.read_text()
+
+
+class TestReportPartial:
+    """The interrupted-sweep fallback must never hide surviving data."""
+
+    class _ChokingExperiment:
+        id = "choker"
+
+        def report(self, params, payload):
+            raise KeyError("partial payload has holes")
+
+    def test_failed_report_dumps_payload_to_stderr(self, capsys):
+        exp = self._ChokingExperiment()
+        cli._report_partial([(exp, None)], [{"salvaged": 41}])
+        err = capsys.readouterr().err
+        # The error class and the raw payload both surface: an operator
+        # who interrupted a long sweep can still recover the results.
+        assert "KeyError" in err
+        assert "choker" in err
+        assert "{'salvaged': 41}" in err
+
+    def test_none_payload_skipped_silently(self, capsys):
+        exp = self._ChokingExperiment()
+        cli._report_partial([(exp, None)], [None])
+        assert capsys.readouterr().err == ""

@@ -43,9 +43,10 @@ from repro.tcp.base import TcpSink
 GOLDEN_DIR = Path(__file__).parent / "golden"
 
 #: variants covered by a golden fixture: the base protocol, an ECN
-#: protocol (different marking path), and both gap-detecting variants
-#: (TRIM probes, GIP restart).
-PROTOCOLS = ("reno", "dctcp", "trim", "gip")
+#: protocol (different marking path), both gap-detecting variants
+#: (TRIM probes, GIP restart), and the competitor-matrix pair (Tiny
+#: Buffer's paced BDP clamp, T-RACKs' time-based loss detection).
+PROTOCOLS = ("reno", "dctcp", "trim", "gip", "tinybuffer", "tracks")
 
 # Scenario constants — changing any of these invalidates every fixture.
 # The front-end link is half the access rate so three overlapping
@@ -136,6 +137,10 @@ def run_golden_scenario(protocol: str):
             s.probes_completed + s.probes_timed_out for s in sources
         )
         meta["delay_decreases"] = sum(s.delay_decreases for s in sources)
+    if protocol == "tracks":
+        meta["time_detected_losses"] = sum(
+            s.time_detected_losses for s in sources
+        )
     return meta
 
 
@@ -159,6 +164,13 @@ def test_golden_trace(protocol, regen_golden):
     else:
         assert meta["retransmits"] > 0, "golden scenario lost its loss coverage"
         assert meta["dropped_packets"] > 0
+    if protocol == "tracks":
+        # T-RACKs' whole point is recovering without dup-ACK counting;
+        # a fixture where no loss is found by transmit-time comparison
+        # would certify nothing about the RACK machinery.
+        assert meta["time_detected_losses"] > 0, (
+            "golden scenario stopped exercising time-based detection"
+        )
 
     path = _fixture_path(protocol)
     if regen_golden:

@@ -55,11 +55,18 @@ class TestRateConvergence:
             rate_on=400.0, rate_off=20.0, mean_on=0.05, mean_off=0.15
         )
         horizon = 20.0
-        times = process.sample_times(np.random.default_rng(seed), horizon)
         expected = process.mean_rate() * horizon
-        # MMPP counts are over-dispersed relative to Poisson; allow a
-        # generous (but still rate-pinning) 30% band.
-        assert abs(len(times) - expected) <= 0.30 * expected
+        # MMPP counts are over-dispersed relative to Poisson: a single
+        # 20 s draw has σ ≈ 9% of the mean, so a one-draw 30% band is
+        # only ~3.4σ and fails for unlucky seeds.  Averaging five
+        # independent draws cuts σ to ~4%, making the same 30% band a
+        # ~7.6σ bound — deterministic-stable yet still rate-pinning.
+        counts = [
+            len(process.sample_times(np.random.default_rng([seed, k]), horizon))
+            for k in range(5)
+        ]
+        mean_count = sum(counts) / len(counts)
+        assert abs(mean_count - expected) <= 0.30 * expected
 
     @settings(max_examples=50, deadline=None)
     @given(seed=SEEDS)

@@ -18,7 +18,7 @@ from tests.helpers import FAST, drop_seqs_once, install_loss, make_pair
 
 ALL_PROTOCOLS = (
     "reno", "cubic", "dctcp", "l2dct", "d2tcp", "gip", "vegas", "timely",
-    "trim",
+    "trim", "tinybuffer", "tracks",
 )
 
 

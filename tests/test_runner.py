@@ -150,8 +150,13 @@ class TestResultCache:
         cache.put(key, "value")
         path = cache._path(key)
         path.write_bytes(b"not a pickle")
-        assert cache.get(key) is None
+        with pytest.warns(RuntimeWarning, match="corrupt cache entry"):
+            assert cache.get(key) is None
         assert not path.exists()  # corrupt entries are evicted
+        # Corruption is counted apart from ordinary misses, so a
+        # damaged cache directory never masquerades as a cold cache.
+        assert cache.corrupt == 1
+        assert cache.misses == 1
 
     def test_float_round_trip_is_exact(self, tmp_path):
         cache = ResultCache(tmp_path)
@@ -182,6 +187,39 @@ class TestSweepRunner:
         assert runner.last_stats.executed == 0
         assert runner.last_stats.cache_hits == 3
         assert experiment.calls == 3  # second run never re-executed
+
+    def test_corrupt_cache_entries_surface_in_stats(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        experiment = _ToyExperiment()
+        runner = SweepRunner(cache=cache)
+        runner.run(experiment, _ToyParams(), seed=5)
+        # Corrupt one stored entry: the re-run must classify it (warn +
+        # count) instead of letting it look like a plain cache miss.
+        key = cache.key(
+            "toy", _ToyParams(), Point("p0", {"i": 0}),
+            derive_seed(5, "toy/p0"),
+        )
+        cache._path(key).write_bytes(b"garbage")
+        with pytest.warns(RuntimeWarning, match="corrupt cache entry"):
+            runner.run(experiment, _ToyParams(), seed=5)
+        assert runner.last_stats.cache_corrupt == 1
+        assert runner.last_stats.cache_hits == 2
+        assert runner.last_stats.executed == 1  # the damaged point re-ran
+
+    def test_cache_write_failure_warns_and_counts(self, tmp_path, monkeypatch):
+        cache = ResultCache(tmp_path)
+        experiment = _ToyExperiment()
+        runner = SweepRunner(cache=cache)
+
+        def refuse(key, value):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(cache, "put", refuse)
+        with pytest.warns(RuntimeWarning, match="cache write failed"):
+            payload = runner.run(experiment, _ToyParams(), seed=5)
+        # The sweep's own results are intact; only reuse is lost.
+        assert [r["i"] for r in payload] == [0, 1, 2]
+        assert runner.last_stats.cache_write_errors == 3
 
     def test_cache_invalidated_by_params_change(self, tmp_path):
         cache = ResultCache(tmp_path)

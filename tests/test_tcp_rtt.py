@@ -54,6 +54,25 @@ class TestRttEstimator:
         est.sample(0.001)
         assert est.backoff_factor == 1.0
 
+    def test_valid_sample_retires_backoff_before_rto_recompute(self):
+        # Karn/RFC 6298: after exponential backoff, the first RTO
+        # computed from a fresh valid sample must not carry the backoff
+        # multiplier — the very next timer arms at the un-backed-off
+        # value, shrinking back to (about) the pre-backoff RTO.
+        est = RttEstimator(min_rto=0.05)
+        est.sample(0.1)
+        rto_before = est.rto
+        est.backoff()
+        est.backoff()
+        assert est.rto == pytest.approx(4 * rto_before)
+        est.sample(0.1)
+        assert est.backoff_factor == 1.0
+        # Identical samples keep srtt at 0.1 while rttvar decays, so the
+        # recomputed RTO must land at or below the pre-backoff value —
+        # and far below the 4x backed-off one.
+        assert est.rto <= rto_before
+        assert est.rto < 4 * rto_before / 2
+
     def test_initial_rto_before_samples(self):
         est = RttEstimator(min_rto=0.05, initial_rto=0.3)
         assert est.rto == 0.3

@@ -1,0 +1,82 @@
+"""Behavior tests for T-RACKs (time-based loss detection/recovery)."""
+
+import pytest
+
+from repro.tcp.factory import default_config
+from repro.tcp.tracks import TracksSource
+from tests.helpers import FAST, drop_seqs_once, install_loss, make_pair
+
+
+def pair(**kwargs):
+    config = default_config("tracks", **FAST)
+    return make_pair("tracks", config=config, **kwargs)
+
+
+class TestDefaults:
+    def test_dupack_counting_disabled(self):
+        # Recovery must be entered only through time-based detection:
+        # the duplicate-ACK threshold is pushed beyond any real window.
+        assert default_config("tracks").dupack_threshold >= 1 << 20
+
+    def test_reorder_window_floor_before_samples(self):
+        sim, star, source, sink = pair()
+        assert source.reo_wnd() == TracksSource.TAIL_TIMER_FLOOR
+
+    def test_reorder_window_is_quarter_min_rtt(self):
+        sim, star, source, sink = pair()
+        source.send_message(30)
+        sim.run(until=0.5)
+        assert source.reo_wnd() == pytest.approx(
+            source.min_rtt * TracksSource.REO_WND_FRACTION
+        )
+
+
+class TestTimeBasedRecovery:
+    def test_single_loss_detected_by_time_not_dupacks(self):
+        sim, star, source, sink = pair()
+        install_loss(star.servers[0].nic, drop_seqs_once([7]))
+        source.send_message(40)
+        sim.run(until=1.0)
+        assert sink.delivered_segments == 40
+        assert source.stats.timeouts == 0
+        assert source.time_detected_losses >= 1
+        # The dup-ACK fast-retransmit path must have stayed cold: every
+        # recovery entry came from the RACK-style comparison.
+        assert source.stats.retransmits >= 1
+
+    def test_burst_loss_recovers_without_rto(self):
+        sim, star, source, sink = pair()
+        install_loss(star.servers[0].nic, drop_seqs_once([10, 11, 12, 13, 14]))
+        source.send_message(80)
+        sim.run(until=1.5)
+        assert sink.delivered_segments == 80
+        assert source.stats.timeouts == 0
+        assert source.stats.retransmits >= 5
+
+    def test_tail_loss_repaired_by_tail_timer(self):
+        sim, star, source, sink = pair()
+        # Drop the very last segment: no later data means no ACK advance
+        # and no SACK evidence — only the tail timer can catch it before
+        # the (already minimal) RTO.
+        install_loss(star.servers[0].nic, drop_seqs_once([19]))
+        source.send_message(20)
+        sim.run(until=1.0)
+        assert sink.delivered_segments == 20
+        assert source.stats.retransmits >= 1
+
+    def test_send_time_table_is_garbage_collected(self):
+        sim, star, source, sink = pair()
+        source.send_message(200)
+        sim.run(until=2.0)
+        assert sink.delivered_segments == 200
+        # Cumulative ACKs purge delivered segments' send times; only
+        # (at most) the unACKed tail may linger.
+        assert len(source._send_time) <= source.config.max_cwnd
+
+    def test_clean_transfer_no_spurious_recovery(self):
+        sim, star, source, sink = pair(buffer_pkts=400)
+        source.send_message(120)
+        sim.run(until=1.0)
+        assert sink.delivered_segments == 120
+        assert source.stats.retransmits == 0
+        assert source.time_detected_losses == 0
